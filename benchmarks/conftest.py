@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Two
+environment variables control the fidelity/runtime trade-off:
+
+* ``REPRO_SCALE``  — ``quick`` (default) or ``paper`` benchmark-circuit scale;
+* ``REPRO_EFFORT`` — AIG optimisation effort (``low`` default, ``medium``,
+  ``high``).
+
+``REPRO_SCALE=paper REPRO_EFFORT=medium pytest benchmarks/ --benchmark-only``
+reproduces the closest approximation of the paper's setup (expect a long
+runtime in pure Python).
+"""
+
+import os
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return os.environ.get("REPRO_SCALE", "quick")
+
+
+@pytest.fixture(scope="session")
+def effort() -> str:
+    return os.environ.get("REPRO_EFFORT", "low")
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

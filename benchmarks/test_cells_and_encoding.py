@@ -1,0 +1,30 @@
+"""Benchmarks for Table 1 (cell protocol), Figure 1 (encoding) and Table 2 (library).
+
+Each test regenerates the corresponding artefact and prints it, so
+``pytest benchmarks/ --benchmark-only -s`` shows the paper-style output.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_figure1, run_table1, run_table2
+
+
+def test_table1_cell_protocol(benchmark):
+    result = run_once(benchmark, run_table1)
+    print("\n[Table 1] LA/FA alternating input sequences\n" + result.text)
+    assert result.summary["la_matches_and"]
+    assert result.summary["fa_matches_or"]
+    assert result.summary["all_reinitialised"]
+
+
+def test_figure1_alternating_encoding(benchmark):
+    result = run_once(benchmark, run_figure1, (1, 0, 1, 1, 0, 0, 1))
+    print("\n[Figure 1] Alternating dual-rail encoding\n" + result.text)
+    assert result.summary["roundtrip_ok"]
+
+
+def test_table2_cell_library(benchmark):
+    result = run_once(benchmark, run_table2)
+    print("\n[Table 2] xSFQ cell library\n" + result.text)
+    cells = [row["cell"] for row in result.rows]
+    assert {"JTL", "LA", "FA", "SPLITTER"} <= set(cells)

@@ -1,0 +1,21 @@
+"""Benchmark for Figures 4-5: the full-adder mapping walk-through.
+
+This is the one experiment whose absolute numbers must match the paper
+exactly (the cost model is fully specified there): 18/16/120/264 for direct
+mapping, 14/12/92/204 after AIG optimisation, 11/7/65/153 after polarity
+optimisation and 10/6/58/138 with the domino-style output phase assignment.
+"""
+
+from conftest import run_once
+
+from repro.eval import run_figure4_5
+
+
+def test_figure4_5_full_adder_walkthrough(benchmark):
+    result = run_once(benchmark, run_figure4_5)
+    print("\n[Figures 4-5] Full-adder mapping walk-through\n" + result.text)
+    assert result.summary["min_aig_nodes"] == 7
+    assert result.summary["matches_paper"], "full-adder counts must match the paper exactly"
+    by_step = {row["step"]: row for row in result.rows}
+    assert by_step["direct"]["jj"] == 120 and by_step["direct"]["jj_ptl"] == 264
+    assert by_step["domino"]["jj"] == 58 and by_step["domino"]["jj_ptl"] == 138

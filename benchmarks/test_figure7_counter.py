@@ -1,0 +1,14 @@
+"""Benchmark for Figure 7: pulse-level simulation of the 2-bit xSFQ counter."""
+
+from conftest import run_once
+
+from repro.eval import run_figure7
+
+
+def test_figure7_counter_pulse_simulation(benchmark, effort):
+    result = run_once(benchmark, run_figure7, num_cycles=8, effort=effort)
+    print(f"\n[Figure 7] 2-bit xSFQ counter pulse simulation (effort={effort})\n" + result.text)
+    assert result.summary["matches_expected"], "decoded counter sequence must match the reference"
+    assert result.summary["trigger_used"], "the start-up trigger of Section 3.2 must be present"
+    assert result.summary["wraps_around"]
+    assert result.summary["num_drocs"] == 4  # two DROCs per logical flip-flop

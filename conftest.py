@@ -1,0 +1,14 @@
+"""Pytest bootstrap: make the src-layout package importable without installation.
+
+The canonical way to use the repository is ``pip install -e .`` (or, in
+offline environments that lack the ``wheel`` package, ``python setup.py
+develop``).  This shim additionally lets ``pytest`` run straight from a
+clean checkout.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

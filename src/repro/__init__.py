@@ -1,0 +1,20 @@
+"""Reproduction of "Synthesis of Resource-Efficient Superconducting Circuits
+with Clock-Free Alternating Logic" (DAC 2024).
+
+The package is organised as a synthesis framework:
+
+* :mod:`repro.netlist` — gate-level networks and file formats;
+* :mod:`repro.rtl` — a small RTL eDSL front end;
+* :mod:`repro.aig` — AND-Inverter graph optimisation (the "ABC" substrate);
+* :mod:`repro.core` — the paper's contribution: the xSFQ cell library,
+  dual-rail mapping, polarity optimisation and the sequential methodology;
+* :mod:`repro.baselines` — conventional clocked RSFQ flows (PBMap/qSeq-like);
+* :mod:`repro.sim` — pulse-level and analog (RCSJ) simulators;
+* :mod:`repro.circuits` — benchmark circuit generators;
+* :mod:`repro.eval` — experiment harness reproducing the paper's tables and
+  figures.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,86 @@
+"""AND-Inverter graphs and logic optimisation (the framework's "ABC").
+
+The paper's key enabler is that dual-rail xSFQ netlists are isomorphic to
+AIGs, so standard AIG optimisation directly minimises LA/FA cell count.
+This package provides the AIG data structure, the optimisation passes
+(balance / rewrite / refactor / cleanup), SAT-based equivalence checking,
+bit-parallel simulation, and the pipelining/retiming helpers used by the
+sequential xSFQ flow.
+"""
+
+from .graph import (
+    FALSE,
+    TRUE,
+    Aig,
+    AigError,
+    Latch,
+    NodeType,
+    lit_is_complemented,
+    lit_node,
+    lit_not,
+    lit_regular,
+    make_lit,
+)
+from .convert import aig_to_network, network_to_aig
+from .balance import balance
+from .rework import refactor, rewrite
+from .scripts import DEFAULT_SCRIPT, OptimizationReport, optimize, optimize_with_report, run_script
+from .simulate import (
+    cone_truth_table,
+    exhaustive_truth_tables,
+    output_signatures,
+    simulate_patterns,
+    simulate_random,
+)
+from .cec import CecResult, assert_equivalent, check_equivalence
+from .cuts import enumerate_cuts, reconvergence_cut
+from .retime import (
+    cut_signals,
+    insert_pipeline_registers,
+    level_cut,
+    max_stage_depth,
+    stage_assignment,
+    stage_thresholds,
+)
+from .sat import SatSolver
+
+__all__ = [
+    "FALSE",
+    "TRUE",
+    "Aig",
+    "AigError",
+    "Latch",
+    "NodeType",
+    "make_lit",
+    "lit_node",
+    "lit_not",
+    "lit_regular",
+    "lit_is_complemented",
+    "network_to_aig",
+    "aig_to_network",
+    "balance",
+    "rewrite",
+    "refactor",
+    "optimize",
+    "optimize_with_report",
+    "run_script",
+    "DEFAULT_SCRIPT",
+    "OptimizationReport",
+    "simulate_patterns",
+    "simulate_random",
+    "exhaustive_truth_tables",
+    "cone_truth_table",
+    "output_signatures",
+    "check_equivalence",
+    "assert_equivalent",
+    "CecResult",
+    "enumerate_cuts",
+    "reconvergence_cut",
+    "insert_pipeline_registers",
+    "stage_thresholds",
+    "stage_assignment",
+    "level_cut",
+    "cut_signals",
+    "max_stage_depth",
+    "SatSolver",
+]

@@ -1,0 +1,204 @@
+"""Combinational equivalence checking (CEC) of AIGs.
+
+Every optimisation pass in this framework is verified the way ABC's ``cec``
+command verifies synthesis results: the two networks are combined into a
+miter and a SAT solver proves that no input assignment can make any output
+pair differ.  Random bit-parallel simulation is used first as a cheap
+counterexample filter.
+
+For sequential AIGs the latches of the two designs are matched by name and
+treated as free inputs (combinational equivalence of the next-state and
+output functions), which is exactly the guarantee needed by the xSFQ
+sequential flow (latch count and initialisation are handled separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from .graph import Aig, AigError, lit_is_complemented, lit_node
+from .simulate import lit_values, simulate_patterns
+from .sat import SatSolver
+
+
+@dataclass
+class CecResult:
+    """Outcome of an equivalence check.
+
+    Attributes:
+        equivalent: True when all output pairs were proved equal.
+        counterexample: Input assignment (by PI name) distinguishing the
+            designs, when one was found.
+        failing_output: Name of the first differing output, when applicable.
+        method: "simulation", "sat", or "trivial".
+    """
+
+    equivalent: bool
+    counterexample: Optional[Dict[str, int]] = None
+    failing_output: Optional[str] = None
+    method: str = "sat"
+
+
+class _TseitinEncoder:
+    """Encode the combinational logic of an AIG into CNF."""
+
+    def __init__(self, solver: SatSolver) -> None:
+        self.solver = solver
+
+    def encode(self, aig: Aig, input_vars: Dict[str, int]) -> Dict[int, int]:
+        """Encode ``aig``; returns a map from node id to solver variable.
+
+        ``input_vars`` maps PI/latch names to already-allocated solver
+        variables, so two designs can share their inputs.
+        """
+        node_var: Dict[int, int] = {}
+        const_var = self.solver.new_var()
+        self.solver.add_clause([-const_var])  # node 0 is constant false
+        node_var[0] = const_var
+        for node, name in zip(aig.pi_nodes, aig.pi_names):
+            node_var[node] = input_vars[name]
+        for latch in aig.latches:
+            node_var[latch.node] = input_vars[latch.name]
+        for node in aig.and_nodes():
+            f0, f1 = aig.fanins(node)
+            a = self._lit_var(node_var, f0)
+            b = self._lit_var(node_var, f1)
+            out = self.solver.new_var()
+            node_var[node] = out
+            # out <-> a & b
+            self.solver.add_clause([-out, a])
+            self.solver.add_clause([-out, b])
+            self.solver.add_clause([out, -a, -b])
+        return node_var
+
+    @staticmethod
+    def _lit_var(node_var: Dict[int, int], lit: int) -> int:
+        var = node_var[lit_node(lit)]
+        return -var if lit_is_complemented(lit) else var
+
+    def output_literal(self, node_var: Dict[int, int], lit: int) -> int:
+        return self._lit_var(node_var, lit)
+
+
+def _collect_roots(aig: Aig) -> List[Tuple[str, int]]:
+    """Output roots to compare: POs plus latch next-state functions."""
+    roots = list(zip(aig.po_names, aig.po_lits))
+    for latch in aig.latches:
+        roots.append((f"{latch.name}$next", latch.next_lit))
+    return roots
+
+
+def _simulation_counterexample(
+    a: Aig, b: Aig, num_patterns: int, seed: int
+) -> Optional[Tuple[str, Dict[str, int]]]:
+    """Random simulation filter; returns (output name, assignment) on mismatch."""
+    import random
+
+    rng = random.Random(seed)
+    input_names = a.pi_names + [l.name for l in a.latches]
+    words = {name: rng.getrandbits(num_patterns) for name in input_names}
+
+    def node_patterns(aig: Aig) -> Dict[int, int]:
+        patterns: Dict[int, int] = {}
+        for node, name in zip(aig.pi_nodes, aig.pi_names):
+            patterns[node] = words[name]
+        for latch in aig.latches:
+            patterns[latch.node] = words[latch.name]
+        return patterns
+
+    values_a = simulate_patterns(a, node_patterns(a), num_patterns)
+    values_b = simulate_patterns(b, node_patterns(b), num_patterns)
+    roots_a = dict(_collect_roots(a))
+    roots_b = dict(_collect_roots(b))
+    for name, lit_a in roots_a.items():
+        lit_b = roots_b[name]
+        word_a = lit_values(values_a, lit_a, num_patterns)
+        word_b = lit_values(values_b, lit_b, num_patterns)
+        diff = word_a ^ word_b
+        if diff:
+            bit = (diff & -diff).bit_length() - 1
+            assignment = {n: (words[n] >> bit) & 1 for n in input_names}
+            return name, assignment
+    return None
+
+
+def check_equivalence(
+    a: Aig,
+    b: Aig,
+    num_random_patterns: int = 256,
+    seed: int = 0,
+    use_sat: bool = True,
+    max_conflicts: Optional[int] = None,
+) -> CecResult:
+    """Check combinational equivalence of two AIGs.
+
+    The designs must have identical PI, PO and latch name sets.  Latches are
+    treated as cut points (free inputs / compared next-state outputs).
+
+    Args:
+        a, b: Designs to compare.
+        num_random_patterns: Width of the random-simulation filter.
+        seed: Random seed for the filter.
+        use_sat: When False only simulation is performed (a ``True`` result
+            then means "no counterexample found", not a proof).
+        max_conflicts: Optional conflict budget per output for the SAT solver.
+
+    Returns:
+        A :class:`CecResult`.
+    """
+    if sorted(a.pi_names) != sorted(b.pi_names):
+        raise AigError("cannot compare AIGs with different primary input names")
+    latch_names_a = sorted(l.name for l in a.latches)
+    latch_names_b = sorted(l.name for l in b.latches)
+    if latch_names_a != latch_names_b:
+        raise AigError("cannot compare AIGs with different latch names")
+    roots_a = _collect_roots(a)
+    roots_b = dict(_collect_roots(b))
+    if sorted(name for name, _ in roots_a) != sorted(roots_b):
+        raise AigError("cannot compare AIGs with different output names")
+
+    counterexample = _simulation_counterexample(a, b, num_random_patterns, seed)
+    if counterexample is not None:
+        name, assignment = counterexample
+        return CecResult(False, assignment, name, method="simulation")
+    if not use_sat:
+        return CecResult(True, method="simulation")
+
+    solver = SatSolver()
+    input_vars: Dict[str, int] = {}
+    for name in a.pi_names + [l.name for l in a.latches]:
+        input_vars[name] = solver.new_var()
+    encoder = _TseitinEncoder(solver)
+    vars_a = encoder.encode(a, input_vars)
+    vars_b = encoder.encode(b, input_vars)
+
+    for name, lit_a in roots_a:
+        lit_b = roots_b[name]
+        sat_a = encoder.output_literal(vars_a, lit_a)
+        sat_b = encoder.output_literal(vars_b, lit_b)
+        # XOR output: miter is SAT iff the outputs can differ.
+        miter = solver.new_var()
+        solver.add_clause([-miter, sat_a, sat_b])
+        solver.add_clause([-miter, -sat_a, -sat_b])
+        solver.add_clause([miter, -sat_a, sat_b])
+        solver.add_clause([miter, sat_a, -sat_b])
+        outcome = solver.solve(assumptions=[miter], max_conflicts=max_conflicts)
+        if outcome is None:
+            raise AigError(f"SAT conflict budget exhausted while checking output {name!r}")
+        if outcome:
+            assignment = {
+                pi: int(solver.model_value(var)) for pi, var in input_vars.items()
+            }
+            return CecResult(False, assignment, name, method="sat")
+    return CecResult(True, method="sat")
+
+
+def assert_equivalent(a: Aig, b: Aig, **kwargs) -> None:
+    """Raise :class:`AigError` unless the two designs are equivalent."""
+    result = check_equivalence(a, b, **kwargs)
+    if not result.equivalent:
+        raise AigError(
+            f"designs are not equivalent: output {result.failing_output!r} differs "
+            f"under assignment {result.counterexample}"
+        )

@@ -1,0 +1,140 @@
+"""Conversions between :class:`LogicNetwork` and :class:`Aig`.
+
+``network_to_aig`` plays the role of ABC's ``strash`` command on a freshly
+read netlist: every gate of the technology-independent network is expressed
+with AND nodes and complemented edges, applying structural hashing on the
+fly.  ``aig_to_network`` converts back for export and inspection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..netlist.network import Gate, GateType, LogicNetwork, NetworkError
+from .graph import FALSE, Aig, lit_is_complemented, lit_node, lit_not, make_lit
+
+
+def network_to_aig(network: LogicNetwork, name: str = "") -> Aig:
+    """Convert a gate-level network into a structurally hashed AIG.
+
+    Flip-flops become AIG latches; all combinational gate types supported by
+    :class:`~repro.netlist.network.LogicNetwork` are decomposed onto AND
+    nodes and complemented edges.
+    """
+    network.validate()
+    aig = Aig(name or network.name)
+    lit_of: Dict[str, int] = {}
+
+    for pi in network.inputs:
+        lit_of[pi] = aig.add_pi(pi)
+    latch_lits: Dict[str, int] = {}
+    for latch in network.latches:
+        latch_lits[latch.name] = aig.add_latch(latch.name, latch.init)
+        lit_of[latch.name] = latch_lits[latch.name]
+
+    for signal in network.topological_order():
+        gate = network.gate(signal)
+        if gate.gate_type in (GateType.INPUT, GateType.DFF):
+            continue
+        lit_of[signal] = _gate_to_lit(aig, gate, lit_of)
+
+    for latch in network.latches:
+        aig.set_latch_next(latch_lits[latch.name], lit_of[latch.fanins[0]])
+    for out in network.outputs:
+        aig.add_po(lit_of[out], out)
+    return aig
+
+
+def _gate_to_lit(aig: Aig, gate: Gate, lit_of: Dict[str, int]) -> int:
+    fanins = [lit_of[f] for f in gate.fanins]
+    t = gate.gate_type
+    if t is GateType.CONST0:
+        return FALSE
+    if t is GateType.CONST1:
+        return lit_not(FALSE)
+    if t is GateType.BUF:
+        return fanins[0]
+    if t is GateType.NOT:
+        return lit_not(fanins[0])
+    if t is GateType.AND:
+        return aig.add_and_multi(fanins)
+    if t is GateType.NAND:
+        return lit_not(aig.add_and_multi(fanins))
+    if t is GateType.OR:
+        return aig.add_or_multi(fanins)
+    if t is GateType.NOR:
+        return lit_not(aig.add_or_multi(fanins))
+    if t is GateType.XOR:
+        lit = fanins[0]
+        for nxt in fanins[1:]:
+            lit = aig.add_xor(lit, nxt)
+        return lit
+    if t is GateType.XNOR:
+        lit = fanins[0]
+        for nxt in fanins[1:]:
+            lit = aig.add_xor(lit, nxt)
+        return lit_not(lit)
+    if t is GateType.MUX:
+        sel, d0, d1 = fanins
+        return aig.add_mux(sel, d0, d1)
+    raise NetworkError(f"cannot convert gate type {t} to AIG")
+
+
+def aig_to_network(aig: Aig, name: str = "") -> LogicNetwork:
+    """Convert an AIG back to a gate-level network of AND/NOT/BUF gates.
+
+    Every AND node becomes a 2-input AND gate named ``n<id>``; complemented
+    edges become NOT gates; primary outputs and latch next-state inputs are
+    buffered so their names survive.
+    """
+    network = LogicNetwork(name or aig.name)
+    signal_of: Dict[int, str] = {}
+
+    for node, pi_name in zip(aig.pi_nodes, aig.pi_names):
+        network.add_input(pi_name)
+        signal_of[node] = pi_name
+    for latch in aig.latches:
+        signal_of[latch.node] = latch.name
+
+    const_needed = False
+
+    def lit_signal(lit: int) -> str:
+        nonlocal const_needed
+        node = lit_node(lit)
+        if node == 0:
+            const_needed = True
+            base = "const0"
+        else:
+            base = signal_of[node]
+        if not lit_is_complemented(lit):
+            return base
+        inv_name = f"{base}_bar"
+        if inv_name not in network:
+            network.add_gate(inv_name, GateType.NOT, [base])
+        return inv_name
+
+    # The constant node might be referenced; declare it lazily afterwards by
+    # first walking the AND nodes (ids are topological).
+    for node in aig.and_nodes():
+        signal_of[node] = f"n{node}"
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        network.add_gate(signal_of[node], GateType.AND, [lit_signal(f0), lit_signal(f1)])
+
+    for po_name, lit in zip(aig.po_names, aig.po_lits):
+        driver = lit_signal(lit)
+        out_name = po_name
+        if out_name in network:
+            out_name = f"{po_name}_po" if driver != po_name else po_name
+        if out_name not in network:
+            network.add_gate(out_name, GateType.BUF, [driver])
+        network.add_output(out_name)
+
+    for latch in aig.latches:
+        network.add_latch(latch.name, lit_signal(latch.next_lit), init=latch.init)
+
+    if const_needed and "const0" not in network:
+        network.add_gate("const0", GateType.CONST0, [])
+    # NOT gates over the constant reference "const0"; ensure ordering validity.
+    network.validate()
+    return network

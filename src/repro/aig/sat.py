@@ -1,0 +1,311 @@
+"""A compact CDCL SAT solver.
+
+Combinational equivalence checking (:mod:`repro.aig.cec`) converts the miter
+of two AIGs into CNF with the Tseitin transformation and asks this solver
+whether any input assignment distinguishes them.  The solver implements the
+standard conflict-driven clause-learning loop: two-literal watching,
+first-UIP conflict analysis, VSIDS-style activity-based branching, phase
+saving and geometric restarts.  It is intentionally dependency-free and
+small, but complete — every answer is exact.
+
+Literal encoding follows the DIMACS convention: variables are positive
+integers, a negated literal is the negative integer.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class SatSolver:
+    """Conflict-driven clause-learning SAT solver over integer literals."""
+
+    def __init__(self) -> None:
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.watches: Dict[int, List[int]] = {}
+        self.assignment: Dict[int, bool] = {}
+        self.level: Dict[int, int] = {}
+        self.reason: Dict[int, Optional[int]] = {}
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: Dict[int, float] = {}
+        self.phase: Dict[int, bool] = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self._ok = True
+
+    # ------------------------------------------------------------------
+    # Problem construction
+    # ------------------------------------------------------------------
+    def new_var(self) -> int:
+        """Allocate and return a fresh variable index (1-based)."""
+        self.num_vars += 1
+        var = self.num_vars
+        self.activity[var] = 0.0
+        self.phase[var] = False
+        return var
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Add a clause; returns False when the formula became trivially unsat."""
+        if not self._ok:
+            return False
+        seen = set()
+        clause: List[int] = []
+        for lit in literals:
+            var = abs(lit)
+            if var == 0 or var > self.num_vars:
+                raise ValueError(f"literal {lit} references an unallocated variable")
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            seen.add(lit)
+            value = self._value(lit)
+            if value is True and self._lit_level(lit) == 0:
+                return True  # already satisfied at root level
+            if value is False and self._lit_level(lit) == 0:
+                continue  # falsified at root level; drop the literal
+            clause.append(lit)
+        if not clause:
+            self._ok = False
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._ok = False
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._ok = False
+                return False
+            return True
+        index = len(self.clauses)
+        self.clauses.append(clause)
+        self.watches.setdefault(clause[0], []).append(index)
+        self.watches.setdefault(clause[1], []).append(index)
+        return True
+
+    # ------------------------------------------------------------------
+    # Internal helpers
+    # ------------------------------------------------------------------
+    def _value(self, lit: int) -> Optional[bool]:
+        var = abs(lit)
+        if var not in self.assignment:
+            return None
+        value = self.assignment[var]
+        return value if lit > 0 else not value
+
+    def _lit_level(self, lit: int) -> int:
+        return self.level.get(abs(lit), 0)
+
+    def _decision_level(self) -> int:
+        return len(self.trail_lim)
+
+    def _enqueue(self, lit: int, reason_clause: Optional[int]) -> bool:
+        value = self._value(lit)
+        if value is not None:
+            return value
+        var = abs(lit)
+        self.assignment[var] = lit > 0
+        self.level[var] = self._decision_level()
+        self.reason[var] = reason_clause
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[int]:
+        """Unit propagation; returns the index of a conflicting clause or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self.trail):
+            lit = self.trail[head]
+            head += 1
+            false_lit = -lit
+            watch_list = self.watches.get(false_lit, [])
+            new_watch_list: List[int] = []
+            i = 0
+            while i < len(watch_list):
+                clause_index = watch_list[i]
+                i += 1
+                clause = self.clauses[clause_index]
+                # Ensure the falsified literal is at position 1.
+                if clause[0] == false_lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) is True:
+                    new_watch_list.append(clause_index)
+                    continue
+                # Look for a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) is not False:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(clause[1], []).append(clause_index)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watch_list.append(clause_index)
+                if self._value(first) is False:
+                    # Conflict: restore remaining watches and report.
+                    new_watch_list.extend(watch_list[i:])
+                    self.watches[false_lit] = new_watch_list
+                    self._qhead = len(self.trail)
+                    return clause_index
+                self._enqueue(first, clause_index)
+            self.watches[false_lit] = new_watch_list
+        self._qhead = head
+        return None
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        if self.activity[var] > 1e100:
+            for v in self.activity:
+                self.activity[v] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _analyze(self, conflict_index: int) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learned clause, backtrack level)."""
+        learned: List[int] = []
+        seen: Dict[int, bool] = {}
+        counter = 0
+        lit = 0
+        clause = self.clauses[conflict_index]
+        index = len(self.trail) - 1
+        current_level = self._decision_level()
+
+        while True:
+            for q in clause if lit == 0 else clause[1:] if clause[0] == lit else [c for c in clause if c != lit]:
+                var = abs(q)
+                if seen.get(var) or self.level.get(var, 0) == 0:
+                    continue
+                seen[var] = True
+                self._bump(var)
+                if self.level.get(var, 0) == current_level:
+                    counter += 1
+                else:
+                    learned.append(q)
+            # Find the next literal on the trail to resolve on.
+            while index >= 0 and not seen.get(abs(self.trail[index])):
+                index -= 1
+            if index < 0:
+                break
+            lit = self.trail[index]
+            var = abs(lit)
+            index -= 1
+            seen[var] = False
+            counter -= 1
+            if counter <= 0:
+                learned.insert(0, -lit)
+                break
+            reason_index = self.reason.get(var)
+            if reason_index is None:
+                learned.insert(0, -lit)
+                break
+            clause = self.clauses[reason_index]
+            lit = lit  # resolve on this literal's reason
+
+        if len(learned) == 1:
+            return learned, 0
+        # Backtrack to the second-highest decision level in the clause.
+        levels = sorted((self.level.get(abs(l), 0) for l in learned[1:]), reverse=True)
+        return learned, levels[0] if levels else 0
+
+    def _backtrack(self, target_level: int) -> None:
+        while self._decision_level() > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                lit = self.trail.pop()
+                var = abs(lit)
+                self.phase[var] = self.assignment[var]
+                del self.assignment[var]
+                del self.level[var]
+                self.reason.pop(var, None)
+        self._qhead = len(self.trail)
+
+    def _decide(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assignment and self.activity.get(var, 0.0) > best_activity:
+                best_var = var
+                best_activity = self.activity.get(var, 0.0)
+        if best_var is None:
+            return None
+        return best_var if self.phase.get(best_var, False) else -best_var
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = (), max_conflicts: Optional[int] = None) -> Optional[bool]:
+        """Solve the formula.
+
+        Returns True (satisfiable), False (unsatisfiable), or None when the
+        conflict limit was exhausted.  ``assumptions`` are temporary unit
+        decisions; when the formula is unsat under assumptions the return
+        value is False.
+        """
+        if not self._ok:
+            return False
+        self._backtrack(0)
+        self._qhead = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return False
+
+        conflicts = 0
+        restart_limit = 64
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                conflicts += 1
+                if max_conflicts is not None and conflicts > max_conflicts:
+                    self._backtrack(0)
+                    return None
+                if self._decision_level() == 0:
+                    return False
+                learned, back_level = self._analyze(conflict)
+                # If the conflict is above assumption levels we may need to
+                # drop below them; treat that as UNSAT under assumptions.
+                self._backtrack(back_level)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        return False
+                else:
+                    index = len(self.clauses)
+                    self.clauses.append(learned)
+                    self.watches.setdefault(learned[0], []).append(index)
+                    self.watches.setdefault(learned[1], []).append(index)
+                    self._enqueue(learned[0], index)
+                self.var_inc /= self.var_decay
+                if conflicts % restart_limit == 0:
+                    restart_limit = int(restart_limit * 1.5)
+                    self._backtrack(0)
+                continue
+
+            # Apply assumptions as pseudo-decisions first.
+            all_assumed = True
+            for lit in assumptions:
+                value = self._value(lit)
+                if value is True:
+                    continue
+                if value is False:
+                    return False
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                all_assumed = False
+                break
+            if not all_assumed:
+                continue
+
+            decision = self._decide()
+            if decision is None:
+                return True
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(decision, None)
+
+    def model(self) -> Dict[int, bool]:
+        """Return the satisfying assignment found by the last successful solve."""
+        return dict(self.assignment)
+
+    def model_value(self, var: int) -> bool:
+        """Value of a variable in the current model (False when unassigned)."""
+        return self.assignment.get(var, False)

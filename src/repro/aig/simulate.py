@@ -1,0 +1,154 @@
+"""Bit-parallel functional simulation of AIGs.
+
+Used for three purposes in the flow:
+
+* fast random-vector filtering before SAT-based equivalence checking
+  (:mod:`repro.aig.cec`),
+* exhaustive truth-table computation of whole (small) AIGs for the test
+  suite, and
+* truth-table computation of cut cones for the refactoring / rewriting
+  passes (:mod:`repro.aig.refactor`, :mod:`repro.aig.rewrite`).
+
+Python integers are used as arbitrarily wide bit vectors, so a single pass
+over the graph simulates any number of patterns in parallel.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .graph import Aig, lit_is_complemented, lit_node
+
+
+def simulate_patterns(aig: Aig, pi_patterns: Mapping[int, int], num_patterns: int) -> Dict[int, int]:
+    """Simulate the combinational part of ``aig`` on packed input patterns.
+
+    Args:
+        aig: The graph to simulate.
+        pi_patterns: Packed pattern word for every PI *and latch* node id
+            (bit ``i`` of the word is the node value in pattern ``i``).
+        num_patterns: Number of valid pattern bits in each word.
+
+    Returns:
+        A dictionary mapping every node id to its packed output word.
+    """
+    mask = (1 << num_patterns) - 1
+    values: Dict[int, int] = {0: 0}
+    for node in aig.pi_nodes:
+        values[node] = pi_patterns.get(node, 0) & mask
+    for latch in aig.latches:
+        values[latch.node] = pi_patterns.get(latch.node, 0) & mask
+    for node in aig.and_nodes():
+        f0, f1 = aig.fanins(node)
+        v0 = values[lit_node(f0)]
+        if lit_is_complemented(f0):
+            v0 ^= mask
+        v1 = values[lit_node(f1)]
+        if lit_is_complemented(f1):
+            v1 ^= mask
+        values[node] = v0 & v1
+    return values
+
+
+def lit_values(values: Mapping[int, int], lit: int, num_patterns: int) -> int:
+    """Extract the packed value word of a literal from node values."""
+    mask = (1 << num_patterns) - 1
+    word = values[lit_node(lit)]
+    return (word ^ mask) if lit_is_complemented(lit) else word & mask
+
+
+def simulate_random(aig: Aig, num_patterns: int = 256, seed: int = 0) -> Dict[int, int]:
+    """Simulate ``num_patterns`` uniformly random input patterns.
+
+    Latch outputs are also randomised, which makes the result usable as a
+    quick combinational-equivalence filter for sequential AIGs whose latch
+    correspondence is known.
+    """
+    rng = random.Random(seed)
+    patterns: Dict[int, int] = {}
+    for node in list(aig.pi_nodes) + [l.node for l in aig.latches]:
+        patterns[node] = rng.getrandbits(num_patterns)
+    return simulate_patterns(aig, patterns, num_patterns)
+
+
+def output_signatures(aig: Aig, num_patterns: int = 256, seed: int = 0) -> List[int]:
+    """Packed output words of every PO under random simulation (for CEC filtering)."""
+    values = simulate_random(aig, num_patterns, seed)
+    return [lit_values(values, lit, num_patterns) for lit in aig.po_lits]
+
+
+def exhaustive_truth_tables(aig: Aig, max_inputs: int = 16) -> List[int]:
+    """Exhaustive truth table of every PO of a combinational AIG.
+
+    The truth table of output *o* is an integer whose bit ``i`` is the output
+    value under the input assignment where PI ``k`` (in ``pi_nodes`` order)
+    takes bit ``k`` of ``i``.
+    """
+    if aig.latches:
+        raise ValueError("exhaustive_truth_tables requires a combinational AIG")
+    n = aig.num_pis
+    if n > max_inputs:
+        raise ValueError(f"AIG has {n} inputs, exceeding limit of {max_inputs}")
+    num_patterns = 1 << n
+    patterns: Dict[int, int] = {}
+    for k, node in enumerate(aig.pi_nodes):
+        # Standard truth-table variable pattern for variable k.
+        word = 0
+        block = 1 << k
+        for start in range(block, num_patterns, 2 * block):
+            word |= ((1 << block) - 1) << start
+        patterns[node] = word
+    values = simulate_patterns(aig, patterns, num_patterns)
+    return [lit_values(values, lit, num_patterns) for lit in aig.po_lits]
+
+
+def cone_truth_table(aig: Aig, root_lit: int, leaves: Sequence[int]) -> int:
+    """Truth table of the cone rooted at ``root_lit`` expressed over ``leaves``.
+
+    ``leaves`` are node ids forming a cut of the cone; the returned table has
+    ``2**len(leaves)`` bits with leaf ``k`` as variable ``k``.  All paths from
+    the root must stop at leaves (or constants); otherwise a ``KeyError``-like
+    :class:`ValueError` is raised.
+    """
+    k = len(leaves)
+    num_patterns = 1 << k
+    mask = (1 << num_patterns) - 1
+    values: Dict[int, int] = {0: 0}
+    for var, leaf in enumerate(leaves):
+        word = 0
+        block = 1 << var
+        for start in range(block, num_patterns, 2 * block):
+            word |= ((1 << block) - 1) << start
+        values[leaf] = word
+
+    def node_value(node: int) -> int:
+        if node in values:
+            return values[node]
+        if not aig.is_and(node):
+            raise ValueError(f"node {node} is not inside the cut cone")
+        stack = [node]
+        while stack:
+            current = stack[-1]
+            if current in values:
+                stack.pop()
+                continue
+            f0, f1 = aig.fanins(current)
+            n0, n1 = lit_node(f0), lit_node(f1)
+            missing = [m for m in (n0, n1) if m not in values]
+            if missing:
+                for m in missing:
+                    if not aig.is_and(m):
+                        raise ValueError(f"node {m} is not inside the cut cone")
+                stack.extend(missing)
+                continue
+            v0 = values[n0] ^ (mask if lit_is_complemented(f0) else 0)
+            v1 = values[n1] ^ (mask if lit_is_complemented(f1) else 0)
+            values[current] = v0 & v1
+            stack.pop()
+        return values[node]
+
+    root_value = node_value(lit_node(root_lit))
+    if lit_is_complemented(root_lit):
+        root_value ^= mask
+    return root_value & mask

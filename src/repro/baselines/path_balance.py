@@ -1,0 +1,245 @@
+"""Gate-level RSFQ mapping with full delay-path balancing.
+
+Conventional SFQ logic evaluates every gate on every clock pulse, so all
+inputs of a gate must arrive in the same clock period: whenever two
+reconverging paths differ in logic depth, DRO (D flip-flop) cells must be
+inserted on the shorter path — "delay path balancing".  Together with the
+per-gate clock splitters this is where the bulk of a conventional RSFQ
+circuit's junctions go (the paper quotes up to 70%), and it is precisely
+the overhead the clock-free xSFQ mapping avoids.
+
+This module implements that conventional mapping:
+
+1. decompose a technology-independent :class:`LogicNetwork` onto the
+   clocked RSFQ library (2-input AND/OR/XOR/XNOR, clocked inverters);
+2. levelise the resulting gate network (every clocked gate occupies one
+   clock stage);
+3. insert ``level(consumer) - level(driver) - 1`` balancing DFFs on every
+   data edge, plus DFFs that align primary inputs and outputs to the final
+   stage;
+4. count fanout splitters for data nets and (optionally) clock splitters
+   for every clocked cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..netlist.network import Gate, GateType, LogicNetwork, NetworkError
+from .cells import (
+    CLOCK_SPLITTING_OVERHEAD,
+    RsfqCellKind,
+    RsfqLibrary,
+    clock_splitter_count,
+    default_rsfq_library,
+)
+
+#: Gate decomposition targets: LogicNetwork gate type -> RSFQ cell kind used
+#: for each node of the balanced 2-input tree.
+_PAIRWISE_KINDS: Dict[GateType, RsfqCellKind] = {
+    GateType.AND: RsfqCellKind.AND2,
+    GateType.NAND: RsfqCellKind.AND2,
+    GateType.OR: RsfqCellKind.OR2,
+    GateType.NOR: RsfqCellKind.OR2,
+    GateType.XOR: RsfqCellKind.XOR2,
+    GateType.XNOR: RsfqCellKind.XOR2,
+}
+
+#: Gate types whose decomposition needs a final inverter.
+_NEEDS_FINAL_INVERTER = {GateType.NAND, GateType.NOR, GateType.XNOR}
+
+
+@dataclass
+class RsfqMappingResult:
+    """Component breakdown of a path-balanced RSFQ mapping.
+
+    Attributes:
+        name: Circuit name.
+        gate_counts: Instance count per RSFQ cell kind (logic cells only).
+        num_logic_cells: Total clocked logic cells (AND/OR/XOR/NOT...).
+        num_state_dffs: DFFs implementing sequential state.
+        num_balancing_dffs: DFFs inserted purely for path balancing.
+        num_splitters: Data fanout splitters.
+        num_clock_splitters: Splitters in the clock distribution tree.
+        logic_levels: Number of clock stages from inputs to outputs.
+    """
+
+    name: str
+    gate_counts: Dict[RsfqCellKind, int] = field(default_factory=dict)
+    num_logic_cells: int = 0
+    num_state_dffs: int = 0
+    num_balancing_dffs: int = 0
+    num_splitters: int = 0
+    num_clock_splitters: int = 0
+    logic_levels: int = 0
+
+    def total_cells(self) -> Dict[RsfqCellKind, int]:
+        """All cell instances, including DFFs and splitters."""
+        counts = dict(self.gate_counts)
+        counts[RsfqCellKind.DFF] = (
+            counts.get(RsfqCellKind.DFF, 0) + self.num_state_dffs + self.num_balancing_dffs
+        )
+        counts[RsfqCellKind.SPLITTER] = (
+            counts.get(RsfqCellKind.SPLITTER, 0) + self.num_splitters + self.num_clock_splitters
+        )
+        return counts
+
+    def jj_count(
+        self,
+        library: Optional[RsfqLibrary] = None,
+        include_clock_tree: bool = True,
+    ) -> int:
+        """Total JJ count, optionally excluding the explicit clock tree.
+
+        PBMap and qSeq do not report clock tree costs, so the paper's
+        comparisons use ``include_clock_tree=False`` for the baseline column
+        and then add a 30% overhead for clock splitting separately.
+        """
+        library = library or default_rsfq_library()
+        counts = dict(self.gate_counts)
+        counts[RsfqCellKind.DFF] = (
+            counts.get(RsfqCellKind.DFF, 0) + self.num_state_dffs + self.num_balancing_dffs
+        )
+        counts[RsfqCellKind.SPLITTER] = counts.get(RsfqCellKind.SPLITTER, 0) + self.num_splitters
+        if include_clock_tree:
+            counts[RsfqCellKind.SPLITTER] += self.num_clock_splitters
+        return library.total_jj(counts)
+
+    def jj_count_with_clock_overhead(self, library: Optional[RsfqLibrary] = None) -> int:
+        """JJ count using the paper's 30% clock-splitting overhead convention."""
+        return round(self.jj_count(library, include_clock_tree=False) * (1.0 + CLOCK_SPLITTING_OVERHEAD))
+
+    @property
+    def num_clocked_cells(self) -> int:
+        """All cells that require a clock pulse (logic gates + DFFs)."""
+        return self.num_logic_cells + self.num_state_dffs + self.num_balancing_dffs
+
+
+def _decompose_gate(gate: Gate) -> Tuple[List[RsfqCellKind], int]:
+    """RSFQ cells and local depth needed to implement one network gate.
+
+    Multi-input gates become balanced trees of 2-input cells; inverting
+    types get one extra clocked inverter.  Returns ``(cells, depth)``.
+    """
+    t = gate.gate_type
+    n = len(gate.fanins)
+    if t in (GateType.INPUT, GateType.CONST0, GateType.CONST1, GateType.DFF):
+        return [], 0
+    if t is GateType.BUF:
+        return [RsfqCellKind.BUF], 0
+    if t is GateType.NOT:
+        return [RsfqCellKind.NOT], 1
+    if t is GateType.MUX:
+        # sel ? d1 : d0 = (sel AND d1) OR (NOT sel AND d0): 2 AND + 1 OR + 1 NOT
+        return [
+            RsfqCellKind.NOT,
+            RsfqCellKind.AND2,
+            RsfqCellKind.AND2,
+            RsfqCellKind.OR2,
+        ], 3
+    if t in _PAIRWISE_KINDS:
+        kind = _PAIRWISE_KINDS[t]
+        num_cells = max(0, n - 1)
+        depth = max(1, (n - 1).bit_length()) if n > 1 else 1
+        cells = [kind] * num_cells if num_cells else [RsfqCellKind.BUF]
+        if t in _NEEDS_FINAL_INVERTER:
+            cells.append(RsfqCellKind.NOT)
+            depth += 1
+        if n == 1:
+            # Degenerate single-input gate behaves like a buffer/inverter.
+            cells = [RsfqCellKind.NOT] if t in _NEEDS_FINAL_INVERTER else [RsfqCellKind.BUF]
+            depth = 1 if t in _NEEDS_FINAL_INVERTER else 0
+        return cells, depth
+    raise NetworkError(f"cannot map gate type {t} to the RSFQ library")
+
+
+def map_rsfq_path_balanced(
+    network: LogicNetwork,
+    include_io_balancing: bool = True,
+    count_clock_tree: bool = True,
+    name: Optional[str] = None,
+) -> RsfqMappingResult:
+    """Map a network to clocked RSFQ cells with full path balancing.
+
+    Args:
+        network: Combinational or sequential gate-level network.
+        include_io_balancing: Also balance primary inputs/outputs to a
+            common stage (standard practice for gate-level-pipelined RSFQ).
+        count_clock_tree: Compute the explicit clock splitter tree size.
+        name: Result name (defaults to the network's).
+
+    Returns:
+        An :class:`RsfqMappingResult` with the component breakdown.
+    """
+    network.validate()
+    result = RsfqMappingResult(name or network.name)
+
+    # 1. Decompose gates, recording each signal's clocked depth contribution.
+    local_depth: Dict[str, int] = {}
+    for gate in network.gates.values():
+        cells, depth = _decompose_gate(gate)
+        for kind in cells:
+            result.gate_counts[kind] = result.gate_counts.get(kind, 0) + 1
+        local_depth[gate.name] = depth
+    result.num_logic_cells = sum(
+        count
+        for kind, count in result.gate_counts.items()
+        if kind not in (RsfqCellKind.BUF, RsfqCellKind.JTL, RsfqCellKind.SPLITTER)
+    )
+
+    # 2. Levelise: the clocked level of a signal is the number of clocked
+    #    stages from the sources (PIs / FF outputs) up to and including it.
+    level: Dict[str, int] = {}
+    for signal in network.topological_order():
+        gate = network.gates[signal]
+        if gate.gate_type in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1):
+            level[signal] = 0
+        else:
+            fanin_level = max((level[f] for f in gate.fanins), default=0)
+            level[signal] = fanin_level + local_depth[signal]
+    max_level = max(level.values(), default=0)
+    result.logic_levels = max_level
+
+    # 3. Path-balancing DFFs.  A driver feeding consumers at deeper stages
+    #    needs a chain of DFFs as long as the largest stage gap; consumers
+    #    with smaller gaps tap the chain at intermediate points (this
+    #    sharing is what mappers like PBMap optimise for, so counting the
+    #    shared chain keeps the baseline competitive / the comparison
+    #    conservative).
+    max_gap: Dict[str, int] = {}
+
+    def record_gap(driver: str, consumer_entry_level: int) -> None:
+        gap = consumer_entry_level - level[driver]
+        if gap > 0:
+            max_gap[driver] = max(max_gap.get(driver, 0), gap)
+
+    for gate in network.gates.values():
+        if gate.gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1):
+            continue
+        consumer_entry_level = level[gate.name] - local_depth.get(gate.name, 0)
+        if gate.gate_type is GateType.DFF:
+            consumer_entry_level = max_level if include_io_balancing else level[gate.fanins[0]]
+        for fanin in gate.fanins:
+            record_gap(fanin, consumer_entry_level)
+    if include_io_balancing:
+        for out in network.outputs:
+            record_gap(out, max_level)
+    result.num_balancing_dffs = sum(max_gap.values())
+
+    # 4. Sequential state cells.
+    result.num_state_dffs = len(network.latches)
+
+    # 5. Data fanout splitters: every consumer beyond the first needs one.
+    fanout: Dict[str, int] = {s: 0 for s in network.gates}
+    for gate in network.gates.values():
+        for fanin in gate.fanins:
+            fanout[fanin] = fanout.get(fanin, 0) + 1
+    for out in network.outputs:
+        fanout[out] = fanout.get(out, 0) + 1
+    result.num_splitters = sum(max(0, count - 1) for count in fanout.values())
+
+    # 6. Clock tree.
+    if count_clock_tree:
+        result.num_clock_splitters = clock_splitter_count(result.num_clocked_cells)
+    return result

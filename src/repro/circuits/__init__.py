@@ -1,0 +1,76 @@
+"""Benchmark circuit generators (ISCAS85-, EPFL- and ISCAS89-class).
+
+The original benchmark netlists are not redistributable, so this package
+generates functionally analogous circuits with matching interfaces (see
+DESIGN.md).  :mod:`repro.circuits.registry` maps every benchmark name used
+in the paper's tables to a generator with both "paper" and "quick" scale
+parameter sets.
+"""
+
+from .arith import (
+    adder_comparator,
+    alu,
+    array_multiplier,
+    equality_comparator,
+    priority_interrupt_controller,
+    ripple_carry_adder,
+)
+from .ecc import hamming_corrector, hamming_encoder, sec_ded_checker
+from .epfl import (
+    binary_decoder,
+    cavlc_decoder,
+    i2c_control_slice,
+    int_to_float,
+    majority_voter,
+    memory_controller,
+    packet_router,
+    priority_encoder,
+    round_robin_arbiter,
+    simple_controller,
+    sine_approximation,
+)
+from .sequential import (
+    datapath_controller,
+    fractional_counter,
+    multiplier_control_unit,
+    pld_state_machine,
+    s27_like,
+    sequence_detector,
+    traffic_light_controller,
+)
+from .registry import CATALOG, CircuitInfo, build, info, names
+
+__all__ = [
+    "ripple_carry_adder",
+    "array_multiplier",
+    "alu",
+    "adder_comparator",
+    "equality_comparator",
+    "priority_interrupt_controller",
+    "hamming_encoder",
+    "hamming_corrector",
+    "sec_ded_checker",
+    "round_robin_arbiter",
+    "cavlc_decoder",
+    "simple_controller",
+    "binary_decoder",
+    "i2c_control_slice",
+    "int_to_float",
+    "memory_controller",
+    "priority_encoder",
+    "packet_router",
+    "majority_voter",
+    "sine_approximation",
+    "s27_like",
+    "sequence_detector",
+    "traffic_light_controller",
+    "pld_state_machine",
+    "fractional_counter",
+    "multiplier_control_unit",
+    "datapath_controller",
+    "CATALOG",
+    "CircuitInfo",
+    "build",
+    "info",
+    "names",
+]

@@ -1,0 +1,240 @@
+"""Arithmetic circuit generators.
+
+These generators produce the datapath-style combinational circuits used as
+stand-ins for the ISCAS85 benchmarks (see the substitution note in
+DESIGN.md): ripple and carry-save adders, array multipliers (the c6288
+structure), ALUs, comparators and parity/checksum logic.  All generators
+return plain :class:`~repro.netlist.network.LogicNetwork` objects and are
+pure functions of their parameters, so the test-suite can check them
+functionally against Python integer arithmetic.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist.network import LogicNetwork, NetworkBuilder
+
+
+def ripple_carry_adder(width: int, name: str = "rca") -> LogicNetwork:
+    """``width``-bit ripple-carry adder with carry-in and carry-out."""
+    b = NetworkBuilder(name)
+    a = b.word_inputs("a", width)
+    c = b.word_inputs("b", width)
+    cin = b.input("cin")
+    s, cout = b.ripple_adder(a, c, cin)
+    b.word_outputs(s, "sum")
+    b.output(cout, "cout")
+    return b.finish()
+
+
+def carry_save_sum(b: NetworkBuilder, operands: Sequence[Sequence[str]]) -> Tuple[List[str], List[str]]:
+    """Reduce a list of equal-width operands with a carry-save adder tree.
+
+    Returns the final two addends (sum word, carry word) of the reduction,
+    both of the common width (carries overflowing the width are dropped by
+    the caller or kept by extending the operands beforehand).
+    """
+    width = len(operands[0])
+    rows = [list(op) for op in operands]
+    while len(rows) > 2:
+        next_rows: List[List[str]] = []
+        for i in range(0, len(rows) - 2, 3):
+            x, y, z = rows[i], rows[i + 1], rows[i + 2]
+            sum_row: List[str] = []
+            carry_row: List[str] = [b.const(0)]
+            for k in range(width):
+                s, c = _full_adder_bits(b, x[k], y[k], z[k])
+                sum_row.append(s)
+                if k + 1 < width:
+                    carry_row.append(c)
+            next_rows.append(sum_row)
+            next_rows.append(carry_row[:width])
+        remainder = len(rows) % 3
+        if remainder:
+            next_rows.extend(rows[-remainder:])
+        rows = next_rows
+    return rows[0], rows[1]
+
+
+def _full_adder_bits(b: NetworkBuilder, x: str, y: str, z: str) -> Tuple[str, str]:
+    return b.full_adder(x, y, z)
+
+
+def array_multiplier(width: int = 16, name: Optional[str] = None) -> LogicNetwork:
+    """Unsigned ``width x width`` array multiplier (the c6288 structure).
+
+    c6288 is a 16x16 multiplier built from a carry-save array of full and
+    half adders over AND-gate partial products; this generator builds the
+    same structure for any width.
+    """
+    b = NetworkBuilder(name or f"mult{width}x{width}")
+    a = b.word_inputs("a", width)
+    c = b.word_inputs("b", width)
+
+    # Partial products: pp[j][i] = a[i] AND b[j], weight i + j.
+    product_width = 2 * width
+    columns: List[List[str]] = [[] for _ in range(product_width)]
+    for j in range(width):
+        for i in range(width):
+            columns[i + j].append(b.and_(a[i], c[j]))
+
+    # Column-wise carry-save reduction (Wallace-style, 3:2 compressors).
+    while any(len(col) > 2 for col in columns):
+        new_columns: List[List[str]] = [[] for _ in range(product_width)]
+        for weight, col in enumerate(columns):
+            index = 0
+            while len(col) - index >= 3:
+                s, carry = b.full_adder(col[index], col[index + 1], col[index + 2])
+                new_columns[weight].append(s)
+                if weight + 1 < product_width:
+                    new_columns[weight + 1].append(carry)
+                index += 3
+            if len(col) - index == 2:
+                s, carry = b.half_adder(col[index], col[index + 1])
+                new_columns[weight].append(s)
+                if weight + 1 < product_width:
+                    new_columns[weight + 1].append(carry)
+                index += 2
+            new_columns[weight].extend(col[index:])
+        columns = new_columns
+
+    # Final carry-propagate addition over the two remaining rows.
+    addend_a = [col[0] if len(col) > 0 else b.const(0) for col in columns]
+    addend_b = [col[1] if len(col) > 1 else b.const(0) for col in columns]
+    total, _ = b.ripple_adder(addend_a, addend_b)
+    b.word_outputs(total, "p")
+    return b.finish()
+
+
+def equality_comparator(width: int, name: str = "eq") -> LogicNetwork:
+    """``a == b`` over two ``width``-bit words."""
+    b = NetworkBuilder(name)
+    a = b.word_inputs("a", width)
+    c = b.word_inputs("b", width)
+    bits = [b.xnor(x, y) for x, y in zip(a, c)]
+    b.output(b.and_(*bits), "eq")
+    return b.finish()
+
+
+def magnitude_comparator(b: NetworkBuilder, a: Sequence[str], c: Sequence[str]) -> Tuple[str, str, str]:
+    """Build an unsigned comparator; returns (a_gt_b, a_eq_b, a_lt_b) signals."""
+    eq_so_far = b.const(1)
+    gt = b.const(0)
+    lt = b.const(0)
+    for x, y in zip(reversed(list(a)), reversed(list(c))):
+        bit_eq = b.xnor(x, y)
+        bit_gt = b.and_(x, b.not_(y))
+        bit_lt = b.and_(b.not_(x), y)
+        gt = b.or_(gt, b.and_(eq_so_far, bit_gt))
+        lt = b.or_(lt, b.and_(eq_so_far, bit_lt))
+        eq_so_far = b.and_(eq_so_far, bit_eq)
+    return gt, eq_so_far, lt
+
+
+def parity_tree(b: NetworkBuilder, bits: Sequence[str]) -> str:
+    """XOR-reduce a list of signals (odd parity)."""
+    signals = list(bits)
+    if not signals:
+        return b.const(0)
+    while len(signals) > 1:
+        nxt = [b.xor(signals[i], signals[i + 1]) for i in range(0, len(signals) - 1, 2)]
+        if len(signals) % 2:
+            nxt.append(signals[-1])
+        signals = nxt
+    return signals[0]
+
+
+def alu(width: int = 8, name: Optional[str] = None, with_shift: bool = True) -> LogicNetwork:
+    """A ``width``-bit ALU with eight operations (the c880/c3540/c5315 class).
+
+    Operations (selected by a 3-bit opcode): ADD, SUB, AND, OR, XOR, pass A,
+    NOT A and, when ``with_shift`` is set, shift-left-by-one (otherwise
+    pass B).  Also produces carry-out, zero and parity flags, which is what
+    gives the ISCAS85 ALU circuits their wide output interface.
+    """
+    b = NetworkBuilder(name or f"alu{width}")
+    a = b.word_inputs("a", width)
+    c = b.word_inputs("b", width)
+    op = b.word_inputs("op", 3)
+
+    # Arithmetic: shared adder computes A + (B xor sub) + sub.
+    sub = op[0]
+    b_mod = [b.xor(bit, sub) for bit in c]
+    add_sum, add_cout = b.ripple_adder(a, b_mod, sub)
+
+    and_word = [b.and_(x, y) for x, y in zip(a, c)]
+    or_word = [b.or_(x, y) for x, y in zip(a, c)]
+    xor_word = [b.xor(x, y) for x, y in zip(a, c)]
+    not_word = [b.not_(x) for x in a]
+    if with_shift:
+        shift_word = [b.const(0)] + list(a[:-1])
+    else:
+        shift_word = list(c)
+
+    # Operation multiplexing: op encodes {0:ADD,1:SUB,2:AND,3:OR,4:XOR,5:PASS,6:NOT,7:SHIFT}.
+    result: List[str] = []
+    for i in range(width):
+        arith = add_sum[i]
+        logic_low = b.mux(op[0], and_word[i], or_word[i])       # op[1:3]==01
+        logic_high = b.mux(op[0], xor_word[i], a[i])            # op[1:3]==10
+        misc = b.mux(op[0], not_word[i], shift_word[i])         # op[1:3]==11
+        sel_01 = b.mux(op[1], arith, logic_low)
+        sel_23 = b.mux(op[1], logic_high, misc)
+        result.append(b.mux(op[2], sel_01, sel_23))
+
+    b.word_outputs(result, "y")
+    b.output(add_cout, "cout")
+    zero_bits = [b.not_(bit) for bit in result]
+    b.output(b.and_(*zero_bits), "zero")
+    b.output(parity_tree(b, result), "parity")
+    gt, eq, lt = magnitude_comparator(b, a, c)
+    b.output(gt, "a_gt_b")
+    b.output(eq, "a_eq_b")
+    b.output(lt, "a_lt_b")
+    return b.finish()
+
+
+def adder_comparator(width: int = 32, name: Optional[str] = None) -> LogicNetwork:
+    """Adder + magnitude comparator + parity (the c7552 class)."""
+    b = NetworkBuilder(name or f"addcmp{width}")
+    a = b.word_inputs("a", width)
+    c = b.word_inputs("b", width)
+    cin = b.input("cin")
+    s, cout = b.ripple_adder(a, c, cin)
+    b.word_outputs(s, "sum")
+    b.output(cout, "cout")
+    gt, eq, lt = magnitude_comparator(b, a, c)
+    b.output(gt, "a_gt_b")
+    b.output(eq, "a_eq_b")
+    b.output(lt, "a_lt_b")
+    b.output(parity_tree(b, list(a) + list(c)), "parity")
+    return b.finish()
+
+
+def priority_interrupt_controller(channels: int = 27, name: Optional[str] = None) -> LogicNetwork:
+    """Priority interrupt controller (the c432 class).
+
+    ``channels`` request lines and matching enable lines; the controller
+    grants the highest-priority enabled request and outputs the grant
+    one-hot vector plus the encoded channel index.
+    """
+    b = NetworkBuilder(name or f"intctl{channels}")
+    requests = b.word_inputs("req", channels)
+    enables = b.word_inputs("en", channels)
+    active = [b.and_(r, e) for r, e in zip(requests, enables)]
+
+    grants: List[str] = []
+    blocked = b.const(0)
+    for signal in active:
+        grant = b.and_(signal, b.not_(blocked))
+        grants.append(grant)
+        blocked = b.or_(blocked, signal)
+    b.word_outputs(grants, "grant")
+    b.output(blocked, "any")
+
+    index_width = max(1, (channels - 1).bit_length())
+    for bit in range(index_width):
+        terms = [g for i, g in enumerate(grants) if (i >> bit) & 1]
+        b.output(b.or_(*terms) if terms else b.const(0), f"index[{bit}]")
+    return b.finish()

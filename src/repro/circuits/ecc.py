@@ -1,0 +1,104 @@
+"""Error-correcting-code circuit generators (the c499/c1355/c1908 class).
+
+The ISCAS85 circuits c499/c1355 are 32-bit single-error-correcting (SEC)
+circuits and c1908 is a 16-bit SEC/DED (double-error-detecting) circuit.
+These generators build the same kind of logic — syndrome computation over
+XOR trees, a syndrome decoder and the correction network — for arbitrary
+data widths, so the evaluation exercises the same XOR-dominated structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..netlist.network import LogicNetwork, NetworkBuilder
+from .arith import parity_tree
+
+
+def _hamming_parity_positions(data_bits: int) -> Tuple[int, List[int]]:
+    """Number of check bits and the (1-based) codeword positions of data bits."""
+    check_bits = 0
+    while (1 << check_bits) < data_bits + check_bits + 1:
+        check_bits += 1
+    # Positions that are powers of two hold check bits; everything else data.
+    data_positions = [
+        pos for pos in range(1, data_bits + check_bits + 1) if (pos & (pos - 1)) != 0
+    ]
+    return check_bits, data_positions[:data_bits]
+
+
+def hamming_encoder(data_bits: int = 32, name: Optional[str] = None) -> LogicNetwork:
+    """Hamming SEC encoder: data in, check bits out."""
+    b = NetworkBuilder(name or f"hamming_enc{data_bits}")
+    data = b.word_inputs("d", data_bits)
+    check_bits, positions = _hamming_parity_positions(data_bits)
+    for check in range(check_bits):
+        mask = 1 << check
+        covered = [data[i] for i, pos in enumerate(positions) if pos & mask]
+        b.output(parity_tree(b, covered), f"c[{check}]")
+    b.output(parity_tree(b, list(data)), "overall_parity")
+    return b.finish()
+
+
+def hamming_corrector(data_bits: int = 32, name: Optional[str] = None) -> LogicNetwork:
+    """Hamming SEC decoder/corrector (the c499/c1355 class).
+
+    Inputs are the received data word and received check bits; outputs are
+    the corrected data word and an error indicator.  c499 has 41 inputs and
+    32 outputs for 32 data bits, which matches this generator's interface
+    (32 data + 6 check + 1 overall parity ~ 39-41 inputs depending on width).
+    """
+    b = NetworkBuilder(name or f"hamming_cor{data_bits}")
+    data = b.word_inputs("d", data_bits)
+    check_bits, positions = _hamming_parity_positions(data_bits)
+    received_checks = b.word_inputs("c", check_bits)
+
+    # Syndrome: recomputed check bits XOR received check bits.
+    syndrome: List[str] = []
+    for check in range(check_bits):
+        mask = 1 << check
+        covered = [data[i] for i, pos in enumerate(positions) if pos & mask]
+        recomputed = parity_tree(b, covered)
+        syndrome.append(b.xor(recomputed, received_checks[check]))
+
+    # Correction: flip the data bit whose codeword position equals the syndrome.
+    corrected: List[str] = []
+    for i, pos in enumerate(positions):
+        match_terms = []
+        for check in range(check_bits):
+            bit_set = (pos >> check) & 1
+            match_terms.append(syndrome[check] if bit_set else b.not_(syndrome[check]))
+        is_flipped = b.and_(*match_terms)
+        corrected.append(b.xor(data[i], is_flipped))
+    b.word_outputs(corrected, "q")
+    b.output(b.or_(*syndrome), "error")
+    return b.finish()
+
+
+def sec_ded_checker(data_bits: int = 16, name: Optional[str] = None) -> LogicNetwork:
+    """SEC/DED checker (the c1908 class): corrects single and flags double errors."""
+    b = NetworkBuilder(name or f"secded{data_bits}")
+    data = b.word_inputs("d", data_bits)
+    check_bits, positions = _hamming_parity_positions(data_bits)
+    received_checks = b.word_inputs("c", check_bits)
+    received_overall = b.input("p")
+
+    syndrome: List[str] = []
+    for check in range(check_bits):
+        mask = 1 << check
+        covered = [data[i] for i, pos in enumerate(positions) if pos & mask]
+        syndrome.append(b.xor(parity_tree(b, covered), received_checks[check]))
+    overall = b.xor(parity_tree(b, list(data) + list(received_checks)), received_overall)
+
+    corrected: List[str] = []
+    for i, pos in enumerate(positions):
+        match_terms = []
+        for check in range(check_bits):
+            bit_set = (pos >> check) & 1
+            match_terms.append(syndrome[check] if bit_set else b.not_(syndrome[check]))
+        corrected.append(b.xor(data[i], b.and_(b.and_(*match_terms), overall)))
+    b.word_outputs(corrected, "q")
+    syndrome_nonzero = b.or_(*syndrome)
+    b.output(b.and_(syndrome_nonzero, overall), "single_error")
+    b.output(b.and_(syndrome_nonzero, b.not_(overall)), "double_error")
+    return b.finish()

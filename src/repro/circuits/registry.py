@@ -1,0 +1,288 @@
+"""Benchmark circuit catalogue.
+
+Maps the benchmark names used in the paper's evaluation (ISCAS85, EPFL
+control, ISCAS89) to the generators of this package.  Because the original
+netlists cannot be redistributed, every entry records which generator and
+parameters stand in for the named circuit (see DESIGN.md's substitution
+note).  Two parameter sets are provided per circuit:
+
+* ``paper`` — dimensions close to the original benchmark's interface;
+* ``quick`` — a reduced-scale variant used by the fast test-suite and the
+  default benchmark runs, so the pure-Python flow stays responsive.
+
+Use :func:`build` to obtain a :class:`LogicNetwork` for any catalogued name.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from ..netlist.network import LogicNetwork
+from . import arith, ecc, epfl, sequential
+
+GeneratorFn = Callable[..., LogicNetwork]
+
+
+@dataclass(frozen=True)
+class CircuitInfo:
+    """Catalogue entry for one benchmark circuit.
+
+    Attributes:
+        name: Benchmark name as used in the paper (e.g. ``"c880"``).
+        suite: ``"iscas85"``, ``"epfl"`` or ``"iscas89"``.
+        kind: ``"combinational"`` or ``"sequential"``.
+        generator: Function building the stand-in circuit.
+        paper_params: Parameters approximating the original's interface.
+        quick_params: Reduced-scale parameters for fast runs.
+        description: What the original circuit is / what the stand-in builds.
+    """
+
+    name: str
+    suite: str
+    kind: str
+    generator: GeneratorFn
+    paper_params: Dict[str, object]
+    quick_params: Dict[str, object]
+    description: str = ""
+
+    def build(self, scale: str = "quick") -> LogicNetwork:
+        """Instantiate the circuit at ``"paper"`` or ``"quick"`` scale."""
+        params = self.paper_params if scale == "paper" else self.quick_params
+        network = self.generator(**params)
+        network.name = self.name
+        return network
+
+
+CATALOG: Dict[str, CircuitInfo] = {}
+
+
+def _register(info: CircuitInfo) -> None:
+    CATALOG[info.name] = info
+
+
+# ---------------------------------------------------------------------------
+# ISCAS85 (combinational)
+# ---------------------------------------------------------------------------
+
+_register(CircuitInfo(
+    "c432", "iscas85", "combinational", arith.priority_interrupt_controller,
+    {"channels": 27}, {"channels": 9},
+    "27-channel priority interrupt controller",
+))
+_register(CircuitInfo(
+    "c499", "iscas85", "combinational", ecc.hamming_corrector,
+    {"data_bits": 32}, {"data_bits": 16},
+    "32-bit single-error-correcting circuit",
+))
+_register(CircuitInfo(
+    "c880", "iscas85", "combinational", arith.alu,
+    {"width": 8}, {"width": 4},
+    "8-bit ALU",
+))
+_register(CircuitInfo(
+    "c1355", "iscas85", "combinational", ecc.hamming_corrector,
+    {"data_bits": 32}, {"data_bits": 16},
+    "32-bit single-error-correcting circuit (expanded XOR form)",
+))
+_register(CircuitInfo(
+    "c1908", "iscas85", "combinational", ecc.sec_ded_checker,
+    {"data_bits": 16}, {"data_bits": 8},
+    "16-bit SEC/DED error checker",
+))
+_register(CircuitInfo(
+    "c2670", "iscas85", "combinational", arith.adder_comparator,
+    {"width": 12}, {"width": 6},
+    "12-bit ALU and controller",
+))
+_register(CircuitInfo(
+    "c3540", "iscas85", "combinational", arith.alu,
+    {"width": 12}, {"width": 5},
+    "8-bit ALU with BCD arithmetic (modelled as a wider binary ALU)",
+))
+_register(CircuitInfo(
+    "c5315", "iscas85", "combinational", arith.alu,
+    {"width": 16}, {"width": 6},
+    "9-bit ALU with parity computing (modelled as a wider binary ALU)",
+))
+_register(CircuitInfo(
+    "c6288", "iscas85", "combinational", arith.array_multiplier,
+    {"width": 16}, {"width": 6},
+    "16x16 array multiplier",
+))
+_register(CircuitInfo(
+    "c7552", "iscas85", "combinational", arith.adder_comparator,
+    {"width": 32}, {"width": 8},
+    "32-bit adder/comparator",
+))
+
+# ---------------------------------------------------------------------------
+# EPFL control circuits (+ sin)
+# ---------------------------------------------------------------------------
+
+_register(CircuitInfo(
+    "arbiter", "epfl", "combinational", epfl.round_robin_arbiter,
+    {"num_requests": 32}, {"num_requests": 8},
+    "round-robin bus arbiter",
+))
+_register(CircuitInfo(
+    "cavlc", "epfl", "combinational", epfl.cavlc_decoder,
+    {}, {},
+    "CAVLC variable-length-code decoder slice",
+))
+_register(CircuitInfo(
+    "ctrl", "epfl", "combinational", epfl.simple_controller,
+    {"opcode_bits": 7, "control_lines": 26}, {"opcode_bits": 5, "control_lines": 10},
+    "instruction decoder / controller",
+))
+_register(CircuitInfo(
+    "dec", "epfl", "combinational", epfl.binary_decoder,
+    {"address_bits": 8}, {"address_bits": 5},
+    "8-to-256 binary decoder",
+))
+_register(CircuitInfo(
+    "i2c", "epfl", "combinational", epfl.i2c_control_slice,
+    {}, {},
+    "I2C controller combinational core",
+))
+_register(CircuitInfo(
+    "int2float", "epfl", "combinational", epfl.int_to_float,
+    {"int_bits": 11}, {"int_bits": 7},
+    "integer to floating-point converter",
+))
+_register(CircuitInfo(
+    "mem_ctrl", "epfl", "combinational", epfl.memory_controller,
+    {"num_banks": 8, "address_bits": 12}, {"num_banks": 2, "address_bits": 6},
+    "DRAM memory controller core (reduced scale)",
+))
+_register(CircuitInfo(
+    "priority", "epfl", "combinational", epfl.priority_encoder,
+    {"width": 128}, {"width": 32},
+    "128-bit priority encoder",
+))
+_register(CircuitInfo(
+    "router", "epfl", "combinational", epfl.packet_router,
+    {"num_ports": 6, "address_bits": 16}, {"num_ports": 3, "address_bits": 8},
+    "destination-range lookup router",
+))
+_register(CircuitInfo(
+    "voter", "epfl", "combinational", epfl.majority_voter,
+    {"num_inputs": 101}, {"num_inputs": 25},
+    "majority voter (adder tree + comparator)",
+))
+_register(CircuitInfo(
+    "sin", "epfl", "combinational", epfl.sine_approximation,
+    {"width": 12}, {"width": 6},
+    "fixed-point sine approximation (multiplier-based)",
+))
+
+# ---------------------------------------------------------------------------
+# ISCAS89 (sequential)
+# ---------------------------------------------------------------------------
+
+_register(CircuitInfo(
+    "s27", "iscas89", "sequential", sequential.s27_like,
+    {}, {},
+    "3-flip-flop control circuit",
+))
+_register(CircuitInfo(
+    "s298", "iscas89", "sequential", sequential.sequence_detector,
+    {"num_ff": 14, "num_inputs": 3, "num_outputs": 6},
+    {"num_ff": 8, "num_inputs": 3, "num_outputs": 4},
+    "traffic-light-style sequence controller",
+))
+_register(CircuitInfo(
+    "s344", "iscas89", "sequential", sequential.multiplier_control_unit,
+    {"width": 4, "num_outputs": 11}, {"width": 3, "num_outputs": 7},
+    "4-bit shift-add multiplier control unit",
+))
+_register(CircuitInfo(
+    "s349", "iscas89", "sequential", sequential.multiplier_control_unit,
+    {"width": 4, "num_outputs": 11}, {"width": 3, "num_outputs": 7},
+    "4-bit multiplier control unit (variant)",
+))
+_register(CircuitInfo(
+    "s382", "iscas89", "sequential", sequential.traffic_light_controller,
+    {"num_ff": 21}, {"num_ff": 9},
+    "traffic light controller",
+))
+_register(CircuitInfo(
+    "s386", "iscas89", "sequential", sequential.pld_state_machine,
+    {"num_ff": 6, "num_inputs": 7, "num_outputs": 7},
+    {"num_ff": 4, "num_inputs": 5, "num_outputs": 5},
+    "PLD-style finite state machine",
+))
+_register(CircuitInfo(
+    "s400", "iscas89", "sequential", sequential.traffic_light_controller,
+    {"num_ff": 21}, {"num_ff": 9},
+    "traffic light controller (variant)",
+))
+_register(CircuitInfo(
+    "s420.1", "iscas89", "sequential", sequential.fractional_counter,
+    {"num_ff": 16, "num_inputs": 18}, {"num_ff": 8, "num_inputs": 10},
+    "fractional counter",
+))
+_register(CircuitInfo(
+    "s444", "iscas89", "sequential", sequential.traffic_light_controller,
+    {"num_ff": 21}, {"num_ff": 9},
+    "traffic light controller (variant)",
+))
+_register(CircuitInfo(
+    "s510", "iscas89", "sequential", sequential.pld_state_machine,
+    {"num_ff": 6, "num_inputs": 19, "num_outputs": 7},
+    {"num_ff": 4, "num_inputs": 9, "num_outputs": 5},
+    "control-dominated finite state machine",
+))
+_register(CircuitInfo(
+    "s526", "iscas89", "sequential", sequential.traffic_light_controller,
+    {"num_ff": 21}, {"num_ff": 9},
+    "traffic light controller (variant)",
+))
+_register(CircuitInfo(
+    "s641", "iscas89", "sequential", sequential.datapath_controller,
+    {"num_ff": 19, "num_inputs": 35, "num_outputs": 24},
+    {"num_ff": 9, "num_inputs": 15, "num_outputs": 10},
+    "bus interface datapath controller",
+))
+_register(CircuitInfo(
+    "s713", "iscas89", "sequential", sequential.datapath_controller,
+    {"num_ff": 19, "num_inputs": 35, "num_outputs": 23},
+    {"num_ff": 9, "num_inputs": 15, "num_outputs": 10},
+    "bus interface datapath controller (with redundancy)",
+))
+_register(CircuitInfo(
+    "s820", "iscas89", "sequential", sequential.pld_state_machine,
+    {"num_ff": 5, "num_inputs": 18, "num_outputs": 19},
+    {"num_ff": 4, "num_inputs": 9, "num_outputs": 9},
+    "PLD-style state machine with wide IO",
+))
+_register(CircuitInfo(
+    "s832", "iscas89", "sequential", sequential.pld_state_machine,
+    {"num_ff": 5, "num_inputs": 18, "num_outputs": 19},
+    {"num_ff": 4, "num_inputs": 9, "num_outputs": 9},
+    "PLD-style state machine with wide IO (variant)",
+))
+_register(CircuitInfo(
+    "s838.1", "iscas89", "sequential", sequential.fractional_counter,
+    {"num_ff": 32, "num_inputs": 34}, {"num_ff": 12, "num_inputs": 14},
+    "32-bit fractional counter",
+))
+
+
+def names(suite: Optional[str] = None, kind: Optional[str] = None) -> List[str]:
+    """Catalogued circuit names, optionally filtered by suite or kind."""
+    return [
+        name
+        for name, info in CATALOG.items()
+        if (suite is None or info.suite == suite) and (kind is None or info.kind == kind)
+    ]
+
+
+def info(name: str) -> CircuitInfo:
+    """Catalogue entry for ``name`` (raises ``KeyError`` for unknown names)."""
+    return CATALOG[name]
+
+
+def build(name: str, scale: str = "quick") -> LogicNetwork:
+    """Build the stand-in circuit for a catalogued benchmark name."""
+    return CATALOG[name].build(scale)

@@ -1,0 +1,292 @@
+"""Sequential benchmark generators (the ISCAS89 class).
+
+The ISCAS89 circuits used in the paper's Table 6 are small-to-medium FSMs
+and counters (traffic-light controllers, fractional counters, PLD-style
+state machines, multiplier control units...).  The original netlists cannot
+be shipped, so the generators below build sequential circuits of the same
+families with matching primary-input / primary-output / flip-flop counts
+(see :data:`repro.circuits.registry.ISCAS89_INFO` for the per-circuit
+interface data); gate counts are comparable but not identical.
+
+All circuits are deterministic, synthesisable through the whole flow and
+cycle-accurate simulable with :meth:`LogicNetwork.simulate_sequence`, which
+the tests use to verify the sequential xSFQ methodology.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple
+
+from ..netlist.network import LogicNetwork, NetworkBuilder
+from .arith import parity_tree
+
+
+def _register_word(b: NetworkBuilder, prefix: str, width: int, init: int = 0) -> List[str]:
+    """Declare ``width`` flip-flops whose next-state is assigned later."""
+    return [b.dff(b.const(0), name=f"{prefix}{i}", init=(init >> i) & 1) for i in range(width)]
+
+
+def _assign_next(b: NetworkBuilder, registers: Sequence[str], next_values: Sequence[str]) -> None:
+    """Point each declared flip-flop at its actual next-state signal."""
+    for reg, nxt in zip(registers, next_values):
+        b.network.gates[reg].fanins = [nxt]
+
+
+def s27_like(name: str = "s27") -> LogicNetwork:
+    """A 4-input, 1-output, 3-flip-flop control circuit (the s27 class).
+
+    Matches the published s27 interface (4 PI / 1 PO / 3 FF, ~10 gates): a
+    tiny reactive controller whose state feeds back through OR/NOR logic.
+    """
+    b = NetworkBuilder(name)
+    g0, g1, g2, g3 = (b.input(n) for n in ("G0", "G1", "G2", "G3"))
+    q = _register_word(b, "Q", 3)
+
+    n1 = b.not_(g0)
+    n2 = b.not_(q[2])
+    a1 = b.and_(g1, n2)
+    o1 = b.or_(a1, g3)
+    o2 = b.or_(o1, q[0])
+    a2 = b.and_(o2, n1)
+    o3 = b.or_(g2, a2)
+    no1 = b.nor(o3, q[1])
+    o4 = b.or_(a2, no1)
+    output = b.not_(o4)
+
+    _assign_next(b, q, [b.and_(output, g1), no1, o3])
+    b.output(output, "out")
+    return b.finish()
+
+
+def sequence_detector(
+    num_ff: int = 14,
+    num_inputs: int = 3,
+    num_outputs: int = 6,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """Shift-register based sequence detector (the s298/s344 class).
+
+    The circuit shifts its inputs through a register chain and raises
+    pattern-match outputs over windows of the chain, plus a small saturating
+    counter — a structure typical of the smaller ISCAS89 controllers.
+    """
+    b = NetworkBuilder(name or f"seqdet{num_ff}")
+    inputs = [b.input(f"in{i}") for i in range(num_inputs)]
+    chain_len = max(1, num_ff - 3)
+    chain = _register_word(b, "sr", chain_len)
+    counter = _register_word(b, "cnt", min(3, num_ff - chain_len) or 1)
+
+    mixed = parity_tree(b, inputs)
+    next_chain = [mixed] + list(chain[:-1])
+    _assign_next(b, chain, next_chain)
+
+    # Pattern matches over sliding windows.
+    outputs: List[str] = []
+    for out in range(num_outputs):
+        window = [chain[(out * 2 + k) % chain_len] for k in range(3)]
+        literals = [window[0], b.not_(window[1]), window[2]]
+        outputs.append(b.and_(*literals))
+
+    # Saturating counter of matches.
+    any_match = b.or_(*outputs)
+    carry = any_match
+    next_counter: List[str] = []
+    for bit in counter:
+        next_counter.append(b.xor(bit, carry))
+        carry = b.and_(bit, carry)
+    _assign_next(b, counter, next_counter)
+
+    for i, signal in enumerate(outputs[: num_outputs - 1]):
+        b.output(signal, f"match{i}")
+    b.output(b.or_(*counter), "saturated")
+    return b.finish()
+
+
+def traffic_light_controller(
+    num_ff: int = 21,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """Traffic-light controller with timers (the s382/s400/s444/s526 class).
+
+    3 inputs (car sensor, walk request, reset), 6 one-hot light outputs and
+    a configurable amount of timer state.
+    """
+    b = NetworkBuilder(name or f"tlc{num_ff}")
+    car = b.input("car")
+    walk = b.input("walk")
+    reset = b.input("reset")
+
+    state_bits = 3
+    timer_bits = max(1, num_ff - state_bits)
+    state = _register_word(b, "st", state_bits, init=1)
+    timer = _register_word(b, "tm", timer_bits)
+
+    timer_done = b.and_(*timer[-2:]) if timer_bits >= 2 else timer[0]
+    advance = b.or_(timer_done, b.and_(car, walk))
+
+    # One-hot-ish state counter: increment modulo 6 when advancing.
+    one = [b.const(1)] + [b.const(0)] * (state_bits - 1)
+    incremented, _ = b.ripple_adder(state, one)
+    is_five = b.and_(state[0], b.and_(state[2], b.not_(state[1])))
+    wrapped = [b.and_(bit, b.not_(is_five)) for bit in incremented]
+    next_state = [b.mux(advance, s, w) for s, w in zip(state, wrapped)]
+    next_state = [b.and_(bit, b.not_(reset)) for bit in next_state]
+    _assign_next(b, state, next_state)
+
+    # Timer increments each cycle, clears when the state advances.
+    timer_one = [b.const(1)] + [b.const(0)] * (timer_bits - 1)
+    timer_inc, _ = b.ripple_adder(timer, timer_one)
+    next_timer = [b.and_(b.mux(advance, t, b.const(0)), b.not_(reset)) for t in timer_inc]
+    _assign_next(b, timer, next_timer)
+
+    # Light decode: 6 outputs from the 3-bit state.
+    inv = [b.not_(s) for s in state]
+    for value in range(6):
+        literals = [state[k] if (value >> k) & 1 else inv[k] for k in range(state_bits)]
+        b.output(b.and_(*literals), f"light[{value}]")
+    return b.finish()
+
+
+def pld_state_machine(
+    num_ff: int = 5,
+    num_inputs: int = 18,
+    num_outputs: int = 19,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """PLD-style Mealy machine with wide IO (the s386/s510/s820/s832 class).
+
+    The next-state and output logic are two-level AND-OR planes over the
+    inputs and the state register, built from a deterministic pattern.
+    """
+    b = NetworkBuilder(name or f"pldfsm{num_ff}")
+    inputs = [b.input(f"in{i}") for i in range(num_inputs)]
+    state = _register_word(b, "st", num_ff)
+    literals = list(inputs) + list(state)
+    inverted = [b.not_(sig) for sig in literals]
+
+    def product(seed: int, arity: int) -> str:
+        # Deterministic pseudo-random product term over distinct literals so
+        # terms never contain a variable together with its complement.
+        rng = random.Random(seed * 2654435761 % (2**32))
+        indices = rng.sample(range(len(literals)), min(arity, len(literals)))
+        chosen = [
+            literals[index] if rng.random() < 0.5 else inverted[index] for index in indices
+        ]
+        return b.and_(*chosen) if len(chosen) > 1 else chosen[0]
+
+    next_state: List[str] = []
+    for bit in range(num_ff):
+        terms = [product(bit * 5 + t, 3 + (t % 2)) for t in range(3)]
+        next_state.append(b.or_(*terms))
+    _assign_next(b, state, next_state)
+
+    for out in range(num_outputs):
+        terms = [product(100 + out * 3 + t, 2 + (t % 3)) for t in range(2)]
+        b.output(b.or_(*terms), f"out{out}")
+    return b.finish()
+
+
+def fractional_counter(
+    num_ff: int = 16,
+    num_inputs: int = 18,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """Fractional / gated counter chain (the s420.1 / s838.1 class).
+
+    A long ripple-enable counter whose stages can be held or cleared by
+    external control inputs; single overflow output, matching the original
+    circuits' 1-output interface.
+    """
+    b = NetworkBuilder(name or f"fraccnt{num_ff}")
+    enable = b.input("enable")
+    clear = b.input("clear")
+    holds = [b.input(f"hold{i}") for i in range(max(0, num_inputs - 2))]
+    counter = _register_word(b, "c", num_ff)
+
+    carry = enable
+    next_bits: List[str] = []
+    for index, bit in enumerate(counter):
+        hold = holds[index % len(holds)] if holds else b.const(0)
+        toggled = b.xor(bit, carry)
+        kept = b.mux(hold, toggled, bit)
+        next_bits.append(b.and_(kept, b.not_(clear)))
+        carry = b.and_(bit, carry)
+    _assign_next(b, counter, next_bits)
+    b.output(carry, "overflow")
+    return b.finish()
+
+
+def multiplier_control_unit(
+    width: int = 4,
+    num_outputs: int = 11,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """Shift-add multiplier controller + datapath slice (the s344/s349 class)."""
+    b = NetworkBuilder(name or f"mulctl{width}")
+    start = b.input("start")
+    multiplier_in = [b.input(f"m{i}") for i in range(width)]
+    multiplicand_in = [b.input(f"n{i}") for i in range(width)]
+
+    accumulator = _register_word(b, "acc", width * 2)
+    multiplier = _register_word(b, "mr", width)
+    count = _register_word(b, "ct", max(2, width.bit_length()))
+
+    # Datapath: add multiplicand into the accumulator's top half when the
+    # multiplier LSB is set, then shift right.
+    addend = [b.and_(m, multiplier[0]) for m in multiplicand_in] + [b.const(0)] * width
+    summed, carry = b.ripple_adder(accumulator, addend)
+    shifted = summed[1:] + [carry]
+    next_acc = [b.mux(start, s, a) for s, a in zip(shifted, [b.const(0)] * (2 * width))]
+    _assign_next(b, accumulator, next_acc)
+
+    next_mult = [b.mux(start, m, mi) for m, mi in zip(multiplier[1:] + [summed[0]], multiplier_in)]
+    _assign_next(b, multiplier, next_mult)
+
+    one = [b.const(1)] + [b.const(0)] * (len(count) - 1)
+    count_inc, _ = b.ripple_adder(count, one)
+    next_count = [b.mux(start, c, b.const(0)) for c in count_inc]
+    _assign_next(b, count, next_count)
+
+    done = b.and_(*count)
+    outputs = list(accumulator[: num_outputs - 1]) + [done]
+    for i, signal in enumerate(outputs[:num_outputs]):
+        b.output(signal, f"out{i}")
+    return b.finish()
+
+
+def datapath_controller(
+    num_ff: int = 19,
+    num_inputs: int = 35,
+    num_outputs: int = 24,
+    name: Optional[str] = None,
+) -> LogicNetwork:
+    """Bus-oriented datapath controller (the s641/s713 class).
+
+    Wide input bus, registered address/status word, and outputs formed by
+    masking the bus with decoded state — mirroring the ISCAS89 circuits
+    derived from a bus interface chip.
+    """
+    b = NetworkBuilder(name or f"buscon{num_ff}")
+    bus = [b.input(f"bus{i}") for i in range(num_inputs - 3)]
+    load = b.input("load")
+    select = b.input("select")
+    ready = b.input("ready")
+    state = _register_word(b, "r", num_ff)
+
+    # Registered word loads from the bus (lower bits) when load is asserted.
+    next_state: List[str] = []
+    for index, bit in enumerate(state):
+        source = bus[index % len(bus)]
+        next_state.append(b.mux(load, bit, source))
+    # A couple of status bits mix in handshake signals.
+    next_state[-1] = b.xor(next_state[-1], ready)
+    next_state[-2] = b.or_(next_state[-2], b.and_(select, ready))
+    _assign_next(b, state, next_state)
+
+    for out in range(num_outputs):
+        data_bit = bus[(out * 2) % len(bus)]
+        state_bit = state[out % num_ff]
+        gated = b.and_(data_bit, b.mux(select, state_bit, b.not_(state_bit)))
+        b.output(b.or_(gated, b.and_(state[(out + 3) % num_ff], load)), f"out{out}")
+    return b.finish()

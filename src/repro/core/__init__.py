@@ -1,0 +1,129 @@
+"""The paper's primary contribution: clock-free xSFQ synthesis.
+
+Public API highlights:
+
+* :func:`repro.core.flow.synthesize_xsfq` — the end-to-end flow
+  (network/AIG in, mapped xSFQ netlist + component breakdown out);
+* :class:`repro.core.cells.XsfqLibrary` — the standard-cell library of
+  Table 2 (with/without PTL interfaces);
+* :mod:`repro.core.polarity` — rail-requirement analysis and the output
+  phase-assignment heuristic;
+* :mod:`repro.core.dual_rail` — the LA/FA/splitter mapping;
+* :mod:`repro.core.sequential` / :mod:`repro.core.pipeline` — DROC storage
+  insertion, initialisation and pipelining;
+* :mod:`repro.core.liberty` — Liberty-style library export.
+"""
+
+from .cells import (
+    DROC_PRELOAD_OVERHEAD_JJ,
+    CellKind,
+    CellSpec,
+    XsfqLibrary,
+    default_library,
+    table2_rows,
+)
+from .encoding import (
+    PhaseSlot,
+    alternating_property_holds,
+    decode_slot,
+    decode_stream,
+    encode_bit,
+    encode_stream,
+    format_waveform,
+    rail_pulse_trains,
+)
+from .polarity import (
+    Rail,
+    RailAnalysis,
+    analyze_rails,
+    assign_output_polarities,
+    direct_mapping_analysis,
+    positive_polarities,
+    sinks_of,
+)
+from .dual_rail import (
+    MappingError,
+    OutputPort,
+    XsfqCell,
+    XsfqNetlist,
+    equation1_splitters,
+    insert_splitters,
+    map_combinational,
+)
+from .sequential import (
+    SequentialMappingInfo,
+    clock_frequency_ghz,
+    legacy_dro_flipflop_cost,
+    map_sequential,
+)
+from .pipeline import PipelineResult, pipeline_clock_frequencies, pipeline_combinational
+from .flow import FlowOptions, XsfqSynthesisResult, synthesize_xsfq
+from .liberty import LibertyCell, parse_liberty, read_liberty, save_liberty, write_liberty
+from .report import (
+    CircuitReport,
+    arithmetic_mean,
+    combinational_table,
+    duplication_table,
+    format_percentage,
+    format_savings,
+    format_table,
+    geometric_mean,
+    pipelining_table,
+    sequential_table,
+)
+
+__all__ = [
+    "CellKind",
+    "CellSpec",
+    "XsfqLibrary",
+    "default_library",
+    "table2_rows",
+    "DROC_PRELOAD_OVERHEAD_JJ",
+    "PhaseSlot",
+    "encode_bit",
+    "decode_slot",
+    "encode_stream",
+    "decode_stream",
+    "rail_pulse_trains",
+    "format_waveform",
+    "alternating_property_holds",
+    "Rail",
+    "RailAnalysis",
+    "analyze_rails",
+    "assign_output_polarities",
+    "direct_mapping_analysis",
+    "positive_polarities",
+    "sinks_of",
+    "XsfqNetlist",
+    "XsfqCell",
+    "OutputPort",
+    "MappingError",
+    "map_combinational",
+    "insert_splitters",
+    "equation1_splitters",
+    "SequentialMappingInfo",
+    "map_sequential",
+    "clock_frequency_ghz",
+    "legacy_dro_flipflop_cost",
+    "PipelineResult",
+    "pipeline_combinational",
+    "pipeline_clock_frequencies",
+    "FlowOptions",
+    "XsfqSynthesisResult",
+    "synthesize_xsfq",
+    "write_liberty",
+    "save_liberty",
+    "parse_liberty",
+    "read_liberty",
+    "LibertyCell",
+    "CircuitReport",
+    "format_table",
+    "format_percentage",
+    "format_savings",
+    "combinational_table",
+    "sequential_table",
+    "pipelining_table",
+    "duplication_table",
+    "geometric_mean",
+    "arithmetic_mean",
+]

@@ -1,0 +1,202 @@
+"""The xSFQ standard-cell library (paper Section 2, Table 2).
+
+The library contains the clock-free logic cells (LA — Last Arrival, the
+Muller C-element used as AND; FA — First Arrival, its inverse used as OR),
+the fanout splitter, the JTL repeater, the merger, the DC-to-SFQ converter
+used for DROC preloading, and the two DROC storage cells (with and without
+preloading hardware).
+
+Each cell carries its Josephson-junction count and propagation /
+clock-to-Q delay for the two interconnect assumptions evaluated in the
+paper: direct (abutted) connections and passive-transmission-line (PTL)
+interfaces.  The numbers are those of Table 2, characterised by the
+authors with HSPICE on the MIT-LL SFQ5ee process; the reduced analog model
+in :mod:`repro.sim.analog` demonstrates how such numbers are extracted.
+
+Splitters are assumed to be abutted to their driving cell's output even in
+the PTL cost model (the paper's footnote 1), so their JJ cost does not
+change between the two modes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+class CellKind(enum.Enum):
+    """Cell types of the xSFQ library."""
+
+    LA = "LA"                    # Last Arrival (C element) — dual-rail AND rail
+    FA = "FA"                    # First Arrival (inverse C element) — dual-rail OR rail
+    SPLITTER = "SPLITTER"        # 1-to-2 fanout splitter
+    JTL = "JTL"                  # Josephson transmission line segment
+    MERGER = "MERGER"            # confluence buffer (2-to-1 merger)
+    DCSFQ = "DCSFQ"              # DC-to-SFQ converter (preload generator)
+    DROC = "DROC"                # DRO with complementary outputs, no preloading
+    DROC_PRELOAD = "DROC_PRELOAD"  # DROC with DC-to-SFQ preloading hardware
+    DRO = "DRO"                  # plain destructive read-out cell (legacy FF style)
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """Static data for one library cell.
+
+    Attributes:
+        kind: Cell type.
+        jj_count: Josephson junction count.
+        delay_ps: Propagation delay (logic cells) or clock-to-Q delay
+            (storage cells) in picoseconds.
+        clocked: Whether the cell requires a clock connection.
+        inputs: Number of signal inputs (excluding clock).
+        outputs: Number of signal outputs.
+        description: Short human-readable description.
+    """
+
+    kind: CellKind
+    jj_count: int
+    delay_ps: float
+    clocked: bool
+    inputs: int
+    outputs: int
+    description: str = ""
+
+
+#: Paper Table 2, "without PTLs" column (plus cells described in the text:
+#: merger = 5 JJ (Section 3.2), DC-to-SFQ = 4 JJ (Section 2.2), DRO = 6 JJ
+#: typical RSFQ value used when modelling the legacy 4-DRO flip-flop).
+_NO_PTL_SPECS: Dict[CellKind, CellSpec] = {
+    CellKind.JTL: CellSpec(CellKind.JTL, 2, 4.6, False, 1, 1, "transmission line segment"),
+    CellKind.LA: CellSpec(CellKind.LA, 4, 7.2, False, 2, 1, "Last Arrival (C element)"),
+    CellKind.FA: CellSpec(CellKind.FA, 4, 9.5, False, 2, 1, "First Arrival (inverse C element)"),
+    CellKind.SPLITTER: CellSpec(CellKind.SPLITTER, 3, 5.1, False, 1, 2, "1:2 fanout splitter"),
+    CellKind.MERGER: CellSpec(CellKind.MERGER, 5, 5.0, False, 2, 1, "confluence buffer"),
+    CellKind.DCSFQ: CellSpec(CellKind.DCSFQ, 4, 10.0, False, 1, 1, "DC-to-SFQ converter"),
+    CellKind.DROC: CellSpec(CellKind.DROC, 13, 9.5, True, 1, 2, "DRO with complementary outputs"),
+    CellKind.DROC_PRELOAD: CellSpec(
+        CellKind.DROC_PRELOAD, 22, 9.5, True, 1, 2, "DROC with DC-to-SFQ preloading"
+    ),
+    CellKind.DRO: CellSpec(CellKind.DRO, 6, 9.5, True, 1, 1, "destructive read-out cell"),
+}
+
+#: Paper Table 2, "with PTLs" column.  Splitters keep their 3-JJ cost
+#: because they are abutted to the driving cell (footnote 1); their delay,
+#: however, reflects the PTL environment of the surrounding cells.
+_PTL_SPECS: Dict[CellKind, CellSpec] = {
+    CellKind.JTL: CellSpec(CellKind.JTL, 7, 17.0, False, 1, 1, "transmission line segment"),
+    CellKind.LA: CellSpec(CellKind.LA, 12, 19.9, False, 2, 1, "Last Arrival (C element)"),
+    CellKind.FA: CellSpec(CellKind.FA, 12, 24.7, False, 2, 1, "First Arrival (inverse C element)"),
+    CellKind.SPLITTER: CellSpec(CellKind.SPLITTER, 3, 19.7, False, 1, 2, "1:2 fanout splitter"),
+    CellKind.MERGER: CellSpec(CellKind.MERGER, 5, 5.0, False, 2, 1, "confluence buffer"),
+    CellKind.DCSFQ: CellSpec(CellKind.DCSFQ, 4, 10.0, False, 1, 1, "DC-to-SFQ converter"),
+    CellKind.DROC: CellSpec(CellKind.DROC, 27, 21.5, True, 1, 2, "DRO with complementary outputs"),
+    CellKind.DROC_PRELOAD: CellSpec(
+        CellKind.DROC_PRELOAD, 36, 21.5, True, 1, 2, "DROC with DC-to-SFQ preloading"
+    ),
+    CellKind.DRO: CellSpec(CellKind.DRO, 6, 9.5, True, 1, 1, "destructive read-out cell"),
+}
+
+#: DROC clock-to-Q delays differ per output polarity (Table 2); the spec above
+#: carries the worst case (Q_n); these constants expose both.
+DROC_CLK_TO_QP_PS = {"no_ptl": 6.7, "ptl": 18.0}
+DROC_CLK_TO_QN_PS = {"no_ptl": 9.5, "ptl": 21.5}
+
+#: JJ cost of the preloading hardware alone (DC-to-SFQ converter + merge),
+#: i.e. the difference between the two DROC flavours (Table 2 caption).
+DROC_PRELOAD_OVERHEAD_JJ = 9
+
+
+class XsfqLibrary:
+    """The xSFQ standard-cell library with a selectable interconnect model.
+
+    Args:
+        use_ptl: When True, cell JJ counts and delays include PTL driver /
+            receiver interfaces (Table 2, right columns).
+    """
+
+    def __init__(self, use_ptl: bool = False) -> None:
+        self.use_ptl = use_ptl
+        self._specs = dict(_PTL_SPECS if use_ptl else _NO_PTL_SPECS)
+
+    def spec(self, kind: CellKind) -> CellSpec:
+        """Return the :class:`CellSpec` for a cell kind."""
+        return self._specs[kind]
+
+    def jj_count(self, kind: CellKind) -> int:
+        """Josephson-junction count of a cell."""
+        return self._specs[kind].jj_count
+
+    def delay(self, kind: CellKind) -> float:
+        """Propagation (or clock-to-Q) delay of a cell in picoseconds."""
+        return self._specs[kind].delay_ps
+
+    def cells(self) -> List[CellSpec]:
+        """All cell specs, in a stable order."""
+        return [self._specs[k] for k in CellKind]
+
+    def total_jj(self, counts: Mapping[CellKind, int]) -> int:
+        """Total JJ count of a design given per-cell-kind instance counts."""
+        return sum(self.jj_count(kind) * count for kind, count in counts.items())
+
+    def describe(self) -> str:
+        """Human-readable library summary (mirrors the layout of Table 2)."""
+        mode = "with PTLs" if self.use_ptl else "without PTLs"
+        lines = [f"xSFQ cell library ({mode})", f"{'Cell':<14}{'Delay (ps)':>12}{'# JJs':>8}"]
+        for spec in self.cells():
+            lines.append(f"{spec.kind.value:<14}{spec.delay_ps:>12.1f}{spec.jj_count:>8}")
+        return "\n".join(lines)
+
+
+def default_library(use_ptl: bool = False) -> XsfqLibrary:
+    """Construct the paper's library in the requested interconnect mode."""
+    return XsfqLibrary(use_ptl=use_ptl)
+
+
+def table2_rows() -> List[Dict[str, object]]:
+    """The contents of the paper's Table 2 as structured rows.
+
+    Each row reports a cell with delay and JJ count in both interconnect
+    modes, in the order the paper lists them.
+    """
+    order = [
+        CellKind.JTL,
+        CellKind.LA,
+        CellKind.FA,
+        CellKind.DROC,
+        CellKind.SPLITTER,
+    ]
+    rows: List[Dict[str, object]] = []
+    for kind in order:
+        no_ptl = _NO_PTL_SPECS[kind]
+        ptl = _PTL_SPECS[kind]
+        if kind is CellKind.DROC:
+            rows.append(
+                {
+                    "cell": "DROC (Qp)",
+                    "delay_no_ptl": DROC_CLK_TO_QP_PS["no_ptl"],
+                    "jj_no_ptl": f"{no_ptl.jj_count}/{_NO_PTL_SPECS[CellKind.DROC_PRELOAD].jj_count}",
+                    "delay_ptl": DROC_CLK_TO_QP_PS["ptl"],
+                    "jj_ptl": f"{ptl.jj_count}/{_PTL_SPECS[CellKind.DROC_PRELOAD].jj_count}",
+                }
+            )
+            rows.append(
+                {
+                    "cell": "DROC (Qn)",
+                    "delay_no_ptl": DROC_CLK_TO_QN_PS["no_ptl"],
+                    "jj_no_ptl": f"{no_ptl.jj_count}/{_NO_PTL_SPECS[CellKind.DROC_PRELOAD].jj_count}",
+                    "delay_ptl": DROC_CLK_TO_QN_PS["ptl"],
+                    "jj_ptl": f"{ptl.jj_count}/{_PTL_SPECS[CellKind.DROC_PRELOAD].jj_count}",
+                }
+            )
+            continue
+        rows.append(
+            {
+                "cell": kind.value,
+                "delay_no_ptl": no_ptl.delay_ps,
+                "jj_no_ptl": str(no_ptl.jj_count),
+                "delay_ptl": ptl.delay_ps,
+                "jj_ptl": str(ptl.jj_count),
+            }
+        )
+    return rows

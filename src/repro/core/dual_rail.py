@@ -1,0 +1,444 @@
+"""Dual-rail xSFQ netlists and the AIG-to-xSFQ mapping (paper Section 3.1).
+
+An :class:`XsfqNetlist` is a flat cell-level netlist of library cells
+(:mod:`repro.core.cells`) connected by named nets.  The mapping rules are
+the paper's:
+
+* an AIG node whose **positive** rail is required becomes an **LA** cell
+  operating on the corresponding rails of its fanins (complemented edges are
+  realised by "twisting" the rails — no cell cost);
+* an AIG node whose **negative** rail is required becomes an **FA** cell
+  operating on the opposite rails of its fanins;
+* every net driving more than one consumer receives a tree of 1:2
+  splitter cells;
+* primary inputs are dual-rail ports; which rails the circuit actually uses
+  is decided by the rail-requirement analysis of :mod:`repro.core.polarity`.
+
+The splitter count follows the paper's Equation 1 whenever every available
+input rail is used; :func:`equation1_splitters` exposes the closed-form
+count for cross-checking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..aig.graph import Aig, lit_is_complemented, lit_node
+from .cells import CellKind, XsfqLibrary, default_library
+from .polarity import Rail, RailAnalysis, analyze_rails
+
+
+class MappingError(Exception):
+    """Raised for invalid xSFQ mapping requests."""
+
+
+@dataclass
+class XsfqCell:
+    """One instantiated library cell.
+
+    Attributes:
+        name: Unique instance name.
+        kind: Library cell kind.
+        inputs: Input net names, in port order.
+        outputs: Output net names, in port order.
+        preload: For DROC cells, whether the preloading hardware is present.
+    """
+
+    name: str
+    kind: CellKind
+    inputs: List[str] = field(default_factory=list)
+    outputs: List[str] = field(default_factory=list)
+    preload: bool = False
+
+
+@dataclass
+class OutputPort:
+    """A circuit output: the external name and the net that drives it."""
+
+    name: str
+    net: str
+    rail: Rail
+
+
+class XsfqNetlist:
+    """A flat netlist of xSFQ cells.
+
+    The netlist is technology-mapped but library-mode agnostic: JJ counts
+    and delays are computed against an :class:`XsfqLibrary` passed to the
+    reporting methods, so the same netlist can be costed with and without
+    PTL interfaces (as the paper's Table 2 distinguishes).
+    """
+
+    def __init__(self, name: str = "xsfq") -> None:
+        self.name = name
+        self.cells: List[XsfqCell] = []
+        self.input_ports: List[str] = []
+        self.output_ports: List[OutputPort] = []
+        self.clock_nets: List[str] = []
+        self.trigger_nets: List[str] = []
+        self._cell_counter = 0
+        # Populated by map_combinational so downstream passes (sequential
+        # DROC insertion, pipelining) can relate cells/nets back to AIG nodes.
+        self.node_rail_nets: Dict[Tuple[int, Rail], str] = {}
+        self.cell_aig_nodes: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_cell(
+        self,
+        kind: CellKind,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        name: Optional[str] = None,
+        preload: bool = False,
+    ) -> XsfqCell:
+        """Instantiate a cell and return it."""
+        self._cell_counter += 1
+        cell = XsfqCell(
+            name=name or f"{kind.value.lower()}_{self._cell_counter}",
+            kind=kind,
+            inputs=list(inputs),
+            outputs=list(outputs),
+            preload=preload,
+        )
+        self.cells.append(cell)
+        return cell
+
+    def add_input_port(self, net: str) -> None:
+        self.input_ports.append(net)
+
+    def add_output_port(self, name: str, net: str, rail: Rail) -> None:
+        self.output_ports.append(OutputPort(name, net, rail))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def counts_by_kind(self) -> Dict[CellKind, int]:
+        """Number of instances of every cell kind (preloaded DROCs counted separately)."""
+        counts: Dict[CellKind, int] = {}
+        for cell in self.cells:
+            kind = cell.kind
+            if kind is CellKind.DROC and cell.preload:
+                kind = CellKind.DROC_PRELOAD
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def num_cells(self, kind: CellKind) -> int:
+        return self.counts_by_kind().get(kind, 0)
+
+    @property
+    def num_logic_cells(self) -> int:
+        """LA + FA cell count (the paper's "#LA/FA" column)."""
+        counts = self.counts_by_kind()
+        return counts.get(CellKind.LA, 0) + counts.get(CellKind.FA, 0)
+
+    @property
+    def num_splitters(self) -> int:
+        return self.counts_by_kind().get(CellKind.SPLITTER, 0)
+
+    @property
+    def num_drocs(self) -> Tuple[int, int]:
+        """(non-preloaded, preloaded) DROC counts."""
+        counts = self.counts_by_kind()
+        return counts.get(CellKind.DROC, 0), counts.get(CellKind.DROC_PRELOAD, 0)
+
+    def jj_count(self, library: Optional[XsfqLibrary] = None) -> int:
+        """Total Josephson-junction count under a library cost model."""
+        library = library or default_library()
+        return library.total_jj(self.counts_by_kind())
+
+    def net_drivers(self) -> Dict[str, str]:
+        """Map net name to the name of the cell driving it."""
+        drivers: Dict[str, str] = {}
+        for cell in self.cells:
+            for net in cell.outputs:
+                if net in drivers:
+                    raise MappingError(f"net {net!r} has multiple drivers")
+                drivers[net] = cell.name
+        return drivers
+
+    def net_consumers(self) -> Dict[str, List[str]]:
+        """Map net name to the list of consuming cell names / output ports."""
+        consumers: Dict[str, List[str]] = {}
+        for cell in self.cells:
+            for net in cell.inputs:
+                consumers.setdefault(net, []).append(cell.name)
+        for port in self.output_ports:
+            consumers.setdefault(port.net, []).append(f"@{port.name}")
+        return consumers
+
+    def validate(self) -> None:
+        """Structural checks: single driver per net, fanout of at most 1 after splitting.
+
+        Splitter insertion is expected to have run, so every net must drive
+        at most one consumer (splitter and merger ports included) and every
+        consumed net must have a driver or be an input port.
+        """
+        drivers = self.net_drivers()
+        consumers = self.net_consumers()
+        inputs = set(self.input_ports) | set(self.clock_nets) | set(self.trigger_nets)
+        for net, users in consumers.items():
+            if len(users) > 1:
+                raise MappingError(f"net {net!r} drives {len(users)} consumers (missing splitter)")
+            if net not in drivers and net not in inputs and not net.startswith("const"):
+                raise MappingError(f"net {net!r} has no driver")
+
+    # ------------------------------------------------------------------
+    # Timing / depth
+    # ------------------------------------------------------------------
+    def logic_depth(self, include_splitters: bool = False) -> int:
+        """Maximum number of cells on any combinational path.
+
+        Storage cells (DROC/DRO) cut paths.  When ``include_splitters`` is
+        False, splitter, JTL and merger cells are transparent (counted as
+        zero depth); otherwise each counts as one level, matching the
+        paper's "logical depth without/with splitters" reporting.
+        """
+        drivers = {net: cell for cell in self.cells for net in cell.outputs}
+        depth: Dict[str, int] = {}
+
+        def net_depth(net: str) -> int:
+            if net in depth:
+                return depth[net]
+            cell = drivers.get(net)
+            if cell is None or cell.kind in (CellKind.DROC, CellKind.DROC_PRELOAD, CellKind.DRO):
+                depth[net] = 0
+                return 0
+            stack = [net]
+            while stack:
+                current = stack[-1]
+                if current in depth:
+                    stack.pop()
+                    continue
+                driver = drivers.get(current)
+                if driver is None or driver.kind in (
+                    CellKind.DROC,
+                    CellKind.DROC_PRELOAD,
+                    CellKind.DRO,
+                ):
+                    depth[current] = 0
+                    stack.pop()
+                    continue
+                missing = [n for n in driver.inputs if n not in depth]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                fanin_depth = max((depth[n] for n in driver.inputs), default=0)
+                if driver.kind in (CellKind.LA, CellKind.FA):
+                    cost = 1
+                elif include_splitters and driver.kind in (CellKind.SPLITTER, CellKind.JTL, CellKind.MERGER):
+                    cost = 1
+                else:
+                    cost = 0
+                depth[current] = fanin_depth + cost
+                stack.pop()
+            return depth[net]
+
+        sinks = [port.net for port in self.output_ports]
+        for cell in self.cells:
+            if cell.kind in (CellKind.DROC, CellKind.DROC_PRELOAD, CellKind.DRO):
+                sinks.extend(cell.inputs)
+        return max((net_depth(net) for net in sinks), default=0)
+
+    def critical_path_delay(self, library: Optional[XsfqLibrary] = None) -> float:
+        """Longest combinational path delay in picoseconds under a library."""
+        library = library or default_library()
+        drivers = {net: cell for cell in self.cells for net in cell.outputs}
+        arrival: Dict[str, float] = {}
+
+        def net_arrival(net: str) -> float:
+            if net in arrival:
+                return arrival[net]
+            stack = [net]
+            while stack:
+                current = stack[-1]
+                if current in arrival:
+                    stack.pop()
+                    continue
+                driver = drivers.get(current)
+                if driver is None:
+                    arrival[current] = 0.0
+                    stack.pop()
+                    continue
+                if driver.kind in (CellKind.DROC, CellKind.DROC_PRELOAD, CellKind.DRO):
+                    arrival[current] = library.delay(driver.kind)
+                    stack.pop()
+                    continue
+                missing = [n for n in driver.inputs if n not in arrival]
+                if missing:
+                    stack.extend(missing)
+                    continue
+                fanin_arrival = max((arrival[n] for n in driver.inputs), default=0.0)
+                arrival[current] = fanin_arrival + library.delay(driver.kind)
+                stack.pop()
+            return arrival[net]
+
+        sinks = [port.net for port in self.output_ports]
+        for cell in self.cells:
+            if cell.kind in (CellKind.DROC, CellKind.DROC_PRELOAD, CellKind.DRO):
+                sinks.extend(cell.inputs)
+        return max((net_arrival(net) for net in sinks), default=0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = self.counts_by_kind()
+        summary = ", ".join(f"{k.value}:{v}" for k, v in sorted(counts.items(), key=lambda x: x[0].value))
+        return f"<XsfqNetlist {self.name!r}: {summary}>"
+
+
+# ---------------------------------------------------------------------------
+# Splitter accounting
+# ---------------------------------------------------------------------------
+
+
+def equation1_splitters(num_gates: int, num_outputs: int, num_inputs: int) -> int:
+    """Paper Equation 1: ``N_splt = N_gate + N_out - N_inp``.
+
+    ``num_gates`` is the LA/FA cell count, ``num_outputs`` the number of
+    output rails produced and ``num_inputs`` the number of input rails
+    available.  The formula assumes every available signal is consumed.
+    """
+    return num_gates + num_outputs - num_inputs
+
+
+def insert_splitters(netlist: XsfqNetlist, style: str = "balanced") -> int:
+    """Insert 1:2 splitter trees so that every net drives a single consumer.
+
+    Args:
+        netlist: Netlist to modify in place.
+        style: ``"balanced"`` builds minimum-depth splitter trees,
+            ``"chain"`` builds linear chains (worst-case depth, matching a
+            pessimistic physical design).
+
+    Returns:
+        The number of splitter cells inserted.
+    """
+    if style not in {"balanced", "chain"}:
+        raise MappingError(f"unknown splitter style {style!r}")
+    consumers: Dict[str, List[Tuple[XsfqCell, int]]] = {}
+    for cell in netlist.cells:
+        if cell.kind is CellKind.SPLITTER:
+            continue
+        for index, net in enumerate(cell.inputs):
+            consumers.setdefault(net, []).append((cell, index))
+    port_consumers: Dict[str, List[OutputPort]] = {}
+    for port in netlist.output_ports:
+        port_consumers.setdefault(port.net, []).append(port)
+
+    inserted = 0
+    for net in sorted(set(consumers) | set(port_consumers)):
+        cell_users = consumers.get(net, [])
+        port_users = port_consumers.get(net, [])
+        total = len(cell_users) + len(port_users)
+        if total <= 1:
+            continue
+        # Build the list of branch nets needed, then rewire consumers.
+        branches: List[str] = []
+        frontier: List[str] = [net]
+        while len(frontier) + len(branches) < total:
+            source = frontier.pop(0) if style == "balanced" else frontier.pop()
+            out_a = f"{source}$s{inserted}a"
+            out_b = f"{source}$s{inserted}b"
+            netlist.add_cell(CellKind.SPLITTER, [source], [out_a, out_b])
+            inserted += 1
+            frontier.extend([out_a, out_b])
+        branches = frontier
+        assert len(branches) == total
+        for (cell, index), branch in zip(cell_users, branches[: len(cell_users)]):
+            cell.inputs[index] = branch
+        for port, branch in zip(port_users, branches[len(cell_users):]):
+            port.net = branch
+    return inserted
+
+
+# ---------------------------------------------------------------------------
+# AIG -> xSFQ mapping
+# ---------------------------------------------------------------------------
+
+
+def rail_net(node: int, rail: Rail, aig: Aig) -> str:
+    """Canonical net name for a node's rail."""
+    if node == 0:
+        return f"const0_{rail.value}"
+    if aig.is_pi(node):
+        name = aig.pi_names[aig.pi_nodes.index(node)]
+        return f"{name}_{rail.value}"
+    if aig.is_latch(node):
+        return f"{aig.latch_of(node).name}_{rail.value}"
+    return f"n{node}_{rail.value}"
+
+
+def fanin_rail(lit: int, rail: Rail) -> Rail:
+    """Rail of a fanin that feeds the given rail of its consumer.
+
+    For the positive rail (LA cell) a complemented edge twists to the
+    fanin's negative rail; for the negative rail (FA cell) the twist is the
+    opposite — this is exactly the "inversion by wire twisting" of the paper.
+    """
+    return rail.flipped() if lit_is_complemented(lit) else rail
+
+
+def map_combinational(
+    aig: Aig,
+    analysis: Optional[RailAnalysis] = None,
+    name: Optional[str] = None,
+    splitter_style: str = "balanced",
+    insert_fanout_splitters: bool = True,
+) -> XsfqNetlist:
+    """Map the combinational part of an AIG to an xSFQ cell netlist.
+
+    Args:
+        aig: Optimised AIG (latches, if any, are treated as dual-rail
+            pseudo-inputs; storage cells are added by
+            :mod:`repro.core.sequential`).
+        analysis: Rail-requirement analysis to honour; defaults to the
+            all-positive-output analysis.
+        name: Netlist name.
+        splitter_style: Passed to :func:`insert_splitters`.
+        insert_fanout_splitters: When False the netlist is left with
+            multi-fanout nets (useful for unit tests of the raw mapping).
+
+    Returns:
+        The mapped :class:`XsfqNetlist` (LA/FA cells, splitters and ports;
+        no storage cells).
+    """
+    if analysis is None:
+        analysis = analyze_rails(aig)
+    netlist = XsfqNetlist(name or aig.name)
+
+    # Input ports: one per used rail of every PI / latch output.
+    for node, rails in sorted(analysis.leaf_rails.items()):
+        if node == 0:
+            continue  # constants are handled as implicit nets
+        for rail in sorted(rails, key=lambda r: r.value):
+            netlist.add_input_port(rail_net(node, rail, aig))
+
+    # Record which nets carry every leaf rail so storage-cell insertion can
+    # reconnect them later.
+    for node, rails in analysis.leaf_rails.items():
+        for rail in rails:
+            netlist.node_rail_nets[(node, rail)] = rail_net(node, rail, aig)
+
+    # LA / FA cells in topological order.
+    for node in aig.and_nodes():
+        rails = analysis.required.get(node, set())
+        f0, f1 = aig.fanins(node)
+        for rail in sorted(rails, key=lambda r: r.value):
+            in0 = rail_net(lit_node(f0), fanin_rail(f0, rail), aig)
+            in1 = rail_net(lit_node(f1), fanin_rail(f1, rail), aig)
+            kind = CellKind.LA if rail is Rail.POS else CellKind.FA
+            out_net = rail_net(node, rail, aig)
+            cell = netlist.add_cell(kind, [in0, in1], [out_net])
+            netlist.node_rail_nets[(node, rail)] = out_net
+            netlist.cell_aig_nodes[cell.name] = node
+
+    # Output ports (one rail per sink, per the polarity assignment).
+    for po_name, lit in zip(aig.po_names, aig.po_lits):
+        polarity = analysis.polarities.get(po_name, Rail.POS)
+        rail = fanin_rail(lit, polarity)
+        netlist.add_output_port(po_name, rail_net(lit_node(lit), rail, aig), polarity)
+
+    if insert_fanout_splitters:
+        insert_splitters(netlist, splitter_style)
+    return netlist

@@ -1,0 +1,120 @@
+"""Dual-rail alternating encoding (paper Figure 1 and Table 1).
+
+In xSFQ every logical value is carried on two rails (positive and negative
+polarity) and every *logical cycle* spans two synchronous phases: the
+**excite** phase carries the pulse-coded value and the **relax** phase its
+complement.  Exactly one of the four (rail, phase) slots carries a pulse for
+a logical 1 and exactly one for a logical 0, which is what lets LA/FA cells
+return to their initial state without a clock.
+
+This module provides the encoding/decoding helpers used by the pulse-level
+simulator drivers/monitors, the examples and the Figure-1 benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PhaseSlot:
+    """Pulse occupancy of one logical value during one logical cycle.
+
+    Attributes:
+        excite_p: Pulse on the positive rail during the excite phase.
+        excite_n: Pulse on the negative rail during the excite phase.
+        relax_p: Pulse on the positive rail during the relax phase.
+        relax_n: Pulse on the negative rail during the relax phase.
+    """
+
+    excite_p: bool
+    excite_n: bool
+    relax_p: bool
+    relax_n: bool
+
+    def pulses(self) -> Tuple[bool, bool, bool, bool]:
+        return (self.excite_p, self.excite_n, self.relax_p, self.relax_n)
+
+
+def encode_bit(value: int) -> PhaseSlot:
+    """Encode one logical bit into its alternating dual-rail phase slots.
+
+    A logical 1 produces a pulse on the positive rail during excite and on
+    the negative rail during relax; a logical 0 produces the mirror pattern.
+    Either way each rail carries exactly one pulse per logical cycle, which
+    is the property that re-initialises every LA/FA cell (Table 1).
+    """
+    value = int(bool(value))
+    if value:
+        return PhaseSlot(excite_p=True, excite_n=False, relax_p=False, relax_n=True)
+    return PhaseSlot(excite_p=False, excite_n=True, relax_p=True, relax_n=False)
+
+
+def decode_slot(slot: PhaseSlot) -> int:
+    """Recover the logical bit from a phase slot.
+
+    Raises ``ValueError`` when the slot violates the alternating dual-rail
+    protocol (no pulse or pulses on both rails in the same phase).
+    """
+    if slot.excite_p == slot.excite_n:
+        raise ValueError(f"protocol violation in excite phase: {slot}")
+    if slot.relax_p == slot.relax_n:
+        raise ValueError(f"protocol violation in relax phase: {slot}")
+    if slot.excite_p == slot.relax_p:
+        raise ValueError(f"alternation violation across phases: {slot}")
+    return 1 if slot.excite_p else 0
+
+
+def encode_stream(bits: Sequence[int]) -> List[PhaseSlot]:
+    """Encode a sequence of logical bits, one phase slot per logical cycle."""
+    return [encode_bit(bit) for bit in bits]
+
+
+def decode_stream(slots: Sequence[PhaseSlot]) -> List[int]:
+    """Decode a sequence of phase slots back to logical bits."""
+    return [decode_slot(slot) for slot in slots]
+
+
+def rail_pulse_trains(bits: Sequence[int]) -> Tuple[List[int], List[int]]:
+    """Flatten a bit sequence into per-phase pulse trains for the two rails.
+
+    Returns ``(positive_rail, negative_rail)`` where each list has two
+    entries (excite, relax) per logical bit, with 1 marking a pulse.  This is
+    the representation used to drive the pulse-level simulator and to render
+    Figure-1-style waveforms.
+    """
+    positive: List[int] = []
+    negative: List[int] = []
+    for bit in bits:
+        slot = encode_bit(bit)
+        positive.extend([int(slot.excite_p), int(slot.relax_p)])
+        negative.extend([int(slot.excite_n), int(slot.relax_n)])
+    return positive, negative
+
+
+def format_waveform(bits: Sequence[int]) -> str:
+    """Render a textual Figure-1-style waveform for a bit sequence."""
+    positive, negative = rail_pulse_trains(bits)
+    phases = []
+    for _ in bits:
+        phases.extend(["e", "r"])
+    def row(label: str, train: Sequence[int]) -> str:
+        return label.ljust(10) + " ".join("|" if p else "." for p in train)
+
+    header = "phase".ljust(10) + " ".join(phases)
+    value_cells: List[str] = []
+    for bit in bits:
+        value_cells.extend([str(bit), " "])
+    values = "value".ljust(10) + " ".join(value_cells)
+    return "\n".join([values, header, row("rail +", positive), row("rail -", negative)])
+
+
+def alternating_property_holds(slots: Iterable[PhaseSlot]) -> bool:
+    """Check that every slot satisfies the alternating dual-rail protocol."""
+    try:
+        for slot in slots:
+            decode_slot(slot)
+    except ValueError:
+        return False
+    return True

@@ -1,0 +1,231 @@
+"""The end-to-end xSFQ synthesis flow (the paper's Yosys + ABC + mapping flow).
+
+:func:`synthesize_xsfq` takes an arbitrary gate-level network (or an AIG)
+and produces a technology-mapped xSFQ netlist plus the component breakdown
+the paper reports:
+
+1. convert the network into a structurally hashed AIG;
+2. optimise it with the off-the-shelf AIG passes of :mod:`repro.aig`
+   (the paper's headline point is that *no* customisation is needed);
+3. choose output/sink polarities with the domino-style phase-assignment
+   heuristic and propagate rail requirements backwards (Section 3.1.4-3.1.5);
+4. map every required rail to an LA or FA cell, insert fanout splitters,
+   and — for sequential or pipelined designs — insert DROC storage ranks
+   with the preloading/trigger initialisation strategy (Section 3.2);
+5. report LA/FA, splitter and DROC counts, duplication penalty, logical
+   depth, JJ totals (with and without PTL interfaces) and clock frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple, Union
+
+from ..aig import Aig, network_to_aig, optimize
+from ..netlist.network import LogicNetwork
+from .cells import XsfqLibrary, default_library
+from .dual_rail import XsfqNetlist, map_combinational
+from .pipeline import PipelineResult, pipeline_clock_frequencies, pipeline_combinational
+from .polarity import (
+    RailAnalysis,
+    analyze_rails,
+    assign_output_polarities,
+    direct_mapping_analysis,
+)
+from .sequential import SequentialMappingInfo, clock_frequency_ghz, map_sequential
+
+
+@dataclass
+class FlowOptions:
+    """Knobs of the xSFQ synthesis flow.
+
+    Attributes:
+        effort: AIG optimisation effort ("none", "low", "medium", "high").
+        optimize_polarity: Run the output phase assignment heuristic
+            (Section 3.1.5); when False all sinks keep their positive rail.
+        direct_mapping: Skip all rail optimisation and build a full LA-FA
+            pair per node (the Section 3.1.1 baseline).
+        retime: Balance sequential designs by pushing the second DROC of
+            every pair into the logic (Section 3.2).
+        pipeline_stages: Architectural pipeline stages to insert into
+            combinational designs (Section 4.2.2); 0 keeps them clock-free.
+        splitter_style: "balanced" or "chain" fanout splitter trees.
+        polarity_sweeps: Improvement sweeps of the phase-assignment heuristic.
+        verify: Verify AIG optimisation against the input with CEC.
+    """
+
+    effort: str = "medium"
+    optimize_polarity: bool = True
+    direct_mapping: bool = False
+    retime: bool = True
+    pipeline_stages: int = 0
+    splitter_style: str = "balanced"
+    polarity_sweeps: int = 4
+    verify: bool = False
+
+
+@dataclass
+class XsfqSynthesisResult:
+    """Everything produced by one run of the flow."""
+
+    name: str
+    netlist: XsfqNetlist
+    aig: Aig
+    analysis: RailAnalysis
+    options: FlowOptions
+    sequential_info: Optional[SequentialMappingInfo] = None
+    pipeline_result: Optional[PipelineResult] = None
+    source_stats: Dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Paper-style metrics
+    # ------------------------------------------------------------------
+    @property
+    def num_la_fa(self) -> int:
+        """LA + FA cell count (Table 4/6 "#LA/FA")."""
+        return self.netlist.num_logic_cells
+
+    @property
+    def num_splitters(self) -> int:
+        return self.netlist.num_splitters
+
+    @property
+    def duplication_penalty(self) -> float:
+        """Fraction of AIG nodes that needed both rails (Tables 3/4/5/6 "Dupl.")."""
+        return self.analysis.duplication_penalty
+
+    @property
+    def droc_counts(self) -> Tuple[int, int]:
+        """(non-preloaded, preloaded) DROC cell counts."""
+        return self.netlist.num_drocs
+
+    def jj_count(self, use_ptl: bool = False) -> int:
+        """Total JJ count under the selected interconnect cost model."""
+        return self.netlist.jj_count(default_library(use_ptl))
+
+    def logic_depth(self, include_splitters: bool = False) -> int:
+        """Logical depth in LA/FA cells (optionally counting splitters)."""
+        return self.netlist.logic_depth(include_splitters)
+
+    def clock_frequencies_ghz(self, use_ptl: bool = False) -> Tuple[float, float]:
+        """(circuit, architectural) clock frequency for synchronous designs.
+
+        For clock-free combinational designs the "circuit clock" is the
+        inverse of the full critical-path delay — the rate at which new
+        excite/relax phases can be fed from the environment.
+        """
+        library = default_library(use_ptl)
+        if self.pipeline_result is not None:
+            return pipeline_clock_frequencies(self.pipeline_result, library)
+        return clock_frequency_ghz(self.netlist, library)
+
+    def component_breakdown(self, use_ptl: bool = False) -> Dict[str, object]:
+        """The paper's per-circuit component breakdown as a dictionary."""
+        plain, preloaded = self.droc_counts
+        return {
+            "circuit": self.name,
+            "la_fa": self.num_la_fa,
+            "splitters": self.num_splitters,
+            "duplication": self.duplication_penalty,
+            "droc_plain": plain,
+            "droc_preloaded": preloaded,
+            "jj": self.jj_count(use_ptl),
+            "depth": self.logic_depth(False),
+            "depth_with_splitters": self.logic_depth(True),
+        }
+
+
+def _to_aig(design: Union[LogicNetwork, Aig], name: Optional[str]) -> Aig:
+    if isinstance(design, Aig):
+        aig = design
+    else:
+        aig = network_to_aig(design)
+    if name:
+        aig.name = name
+    return aig
+
+
+def synthesize_xsfq(
+    design: Union[LogicNetwork, Aig],
+    options: Optional[FlowOptions] = None,
+    name: Optional[str] = None,
+) -> XsfqSynthesisResult:
+    """Run the full xSFQ synthesis flow on a design.
+
+    Args:
+        design: A gate-level :class:`LogicNetwork` or an :class:`Aig`
+            (combinational or sequential).
+        options: Flow options; defaults to :class:`FlowOptions()`.
+        name: Optional name for the result (defaults to the design's).
+
+    Returns:
+        An :class:`XsfqSynthesisResult`.
+    """
+    options = options or FlowOptions()
+    aig = _to_aig(design, name)
+    source_stats = aig.stats()
+
+    if options.effort != "none":
+        aig = optimize(aig, effort=options.effort, verify=options.verify)
+    else:
+        aig = aig.cleanup()
+
+    result_name = name or aig.name
+
+    # Pipelined combinational designs.
+    if aig.is_combinational() and options.pipeline_stages > 0:
+        pipe = pipeline_combinational(
+            aig,
+            options.pipeline_stages,
+            optimize_polarity=options.optimize_polarity and not options.direct_mapping,
+            splitter_style=options.splitter_style,
+            name=result_name,
+        )
+        analysis = pipe.analysis if pipe.analysis is not None else analyze_rails(pipe.aig)
+        return XsfqSynthesisResult(
+            name=result_name,
+            netlist=pipe.netlist,
+            aig=pipe.aig,
+            analysis=analysis,
+            options=options,
+            pipeline_result=pipe,
+            source_stats=source_stats,
+        )
+
+    # Rail analysis / polarity assignment.
+    if options.direct_mapping:
+        analysis = direct_mapping_analysis(aig)
+    elif options.optimize_polarity:
+        _, analysis = assign_output_polarities(aig, max_sweeps=options.polarity_sweeps)
+    else:
+        analysis = analyze_rails(aig)
+
+    if aig.is_combinational():
+        netlist = map_combinational(
+            aig, analysis, name=result_name, splitter_style=options.splitter_style
+        )
+        return XsfqSynthesisResult(
+            name=result_name,
+            netlist=netlist,
+            aig=aig,
+            analysis=analysis,
+            options=options,
+            source_stats=source_stats,
+        )
+
+    netlist, info = map_sequential(
+        aig,
+        analysis,
+        name=result_name,
+        retime=options.retime,
+        splitter_style=options.splitter_style,
+    )
+    return XsfqSynthesisResult(
+        name=result_name,
+        netlist=netlist,
+        aig=aig,
+        analysis=analysis,
+        options=options,
+        sequential_info=info,
+        source_stats=source_stats,
+    )

@@ -1,0 +1,135 @@
+"""Liberty-style timing library export / import (paper Section 2.3).
+
+The paper formats the characterised cell timing into a Liberty file with
+1x1 look-up tables (PTL routing makes timing arcs load-independent, so a
+single value per arc suffices).  This module writes such a file for the
+xSFQ library and parses it back, so downstream tools (or the test-suite)
+can round-trip the characterisation data.
+
+Only the small subset of the Liberty grammar actually needed is supported:
+``library``, ``cell``, ``pin``, ``timing`` groups with ``cell_rise`` /
+``cell_fall`` 1x1 tables, and an ``area`` attribute that carries the JJ
+count (a common convention in superconducting PDKs where "area" is
+repurposed as the JJ budget).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .cells import CellKind, CellSpec, XsfqLibrary, default_library
+
+
+@dataclass
+class LibertyCell:
+    """Parsed view of one Liberty cell."""
+
+    name: str
+    area: float
+    delays_ps: Dict[str, float] = field(default_factory=dict)
+    clocked: bool = False
+
+
+def write_liberty(library: Optional[XsfqLibrary] = None, name: str = "xsfq") -> str:
+    """Serialise the xSFQ library as Liberty text with 1x1 delay tables."""
+    library = library or default_library()
+    mode = "ptl" if library.use_ptl else "no_ptl"
+    lines: List[str] = [
+        f"library ({name}_{mode}) {{",
+        "  delay_model : table_lookup;",
+        "  time_unit : \"1ps\";",
+        "  lu_table_template (single_value) {",
+        "    variable_1 : input_net_transition;",
+        "    index_1 (\"1\");",
+        "  }",
+    ]
+    for spec in library.cells():
+        lines.extend(_cell_block(spec))
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def _cell_block(spec: CellSpec) -> List[str]:
+    lines = [
+        f"  cell ({spec.kind.value}) {{",
+        f"    area : {spec.jj_count};",
+        f"    /* {spec.description} */",
+    ]
+    if spec.clocked:
+        lines.append("    pin (clk) { direction : input; clock : true; }")
+    for index in range(spec.inputs):
+        lines.append(f"    pin (a{index}) {{ direction : input; }}")
+    for index in range(spec.outputs):
+        related = "clk" if spec.clocked else " ".join(f"a{i}" for i in range(spec.inputs))
+        lines.extend(
+            [
+                f"    pin (q{index}) {{",
+                "      direction : output;",
+                f"      timing () {{",
+                f"        related_pin : \"{related}\";",
+                "        cell_rise (single_value) { values (\"%.3f\"); }" % spec.delay_ps,
+                "        cell_fall (single_value) { values (\"%.3f\"); }" % spec.delay_ps,
+                "      }",
+                "    }",
+            ]
+        )
+    lines.append("  }")
+    return lines
+
+
+def save_liberty(path: Union[str, Path], library: Optional[XsfqLibrary] = None, name: str = "xsfq") -> None:
+    """Write the Liberty text to a file."""
+    Path(path).write_text(write_liberty(library, name))
+
+
+_CELL_RE = re.compile(r"cell\s*\(\s*([\w$]+)\s*\)\s*\{")
+_AREA_RE = re.compile(r"area\s*:\s*([\d.]+)\s*;")
+_PIN_RE = re.compile(r"pin\s*\(\s*([\w$]+)\s*\)\s*\{")
+_VALUES_RE = re.compile(r"values\s*\(\s*\"([\d.eE+-]+)\"\s*\)")
+_CLOCK_RE = re.compile(r"clock\s*:\s*true")
+
+
+def parse_liberty(text: str) -> Dict[str, LibertyCell]:
+    """Parse Liberty text produced by :func:`write_liberty`.
+
+    Returns a dictionary keyed by cell name.  The parser is intentionally
+    small: it tracks cell and pin scopes by brace counting and records the
+    first 1x1 delay value per output pin.
+    """
+    cells: Dict[str, LibertyCell] = {}
+    current_cell: Optional[LibertyCell] = None
+    current_pin: Optional[str] = None
+    cell_depth = 0
+    depth = 0
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        cell_match = _CELL_RE.search(line)
+        if cell_match and depth == 1:
+            current_cell = LibertyCell(cell_match.group(1), area=0.0)
+            cells[current_cell.name] = current_cell
+            cell_depth = depth + 1
+        if current_cell is not None:
+            area_match = _AREA_RE.search(line)
+            if area_match:
+                current_cell.area = float(area_match.group(1))
+            if _CLOCK_RE.search(line):
+                current_cell.clocked = True
+            pin_match = _PIN_RE.search(line)
+            if pin_match:
+                current_pin = pin_match.group(1)
+            values_match = _VALUES_RE.search(line)
+            if values_match and current_pin is not None:
+                current_cell.delays_ps.setdefault(current_pin, float(values_match.group(1)))
+        depth += line.count("{") - line.count("}")
+        if current_cell is not None and depth < cell_depth:
+            current_cell = None
+            current_pin = None
+    return cells
+
+
+def read_liberty(path: Union[str, Path]) -> Dict[str, LibertyCell]:
+    """Read and parse a Liberty file."""
+    return parse_liberty(Path(path).read_text())

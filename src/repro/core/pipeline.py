@@ -1,0 +1,167 @@
+"""Pipelining of combinational xSFQ circuits (paper Section 4.2.2 / Table 5).
+
+A purely combinational xSFQ circuit needs no synchronous cells at all, but
+its throughput is then limited by the full logical depth.  Inserting DROC
+ranks raises the clock frequency; because of the alternating encoding every
+*architectural* pipeline stage requires **two** ranks of DROCs (one for the
+excite phase and one for the relax phase), and the architectural clock
+frequency is half the circuit clock frequency.
+
+This module implements that transformation on top of the generic AIG
+pipelining of :mod:`repro.aig.retime`: ``2 * stages`` register ranks are
+inserted at depth-balanced level cuts, every rank is mapped to DROC cells
+(one DROC per registered AIG node — the complementary outputs provide both
+rails), and the first rank of each excite/relax pair carries preloading
+hardware so the alternating property is established at start-up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..aig.graph import Aig, lit_node
+from ..aig.retime import insert_pipeline_registers, pipeline_register_ranks
+from .cells import CellKind, XsfqLibrary, default_library
+from .dual_rail import MappingError, XsfqNetlist, fanin_rail, insert_splitters, map_combinational, rail_net
+from .polarity import Rail, RailAnalysis, analyze_rails, assign_output_polarities
+from .sequential import CLOCK_NET, TRIGGER_NET, _attach_clock_infrastructure
+
+_PIPE_PREFIX = "pipe"
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of pipelining a combinational design.
+
+    Attributes:
+        netlist: The mapped xSFQ netlist including DROC ranks.
+        aig: The pipelined AIG (with latch ranks inserted).
+        stages: Number of architectural pipeline stages requested.
+        ranks: Number of DROC ranks inserted (``2 * stages``).
+        drocs_per_rank: DROC count of every rank, from inputs to outputs.
+        preloaded: Total preloaded DROC count.
+        plain: Total non-preloaded DROC count.
+    """
+
+    netlist: XsfqNetlist
+    aig: Aig
+    stages: int
+    ranks: int
+    drocs_per_rank: List[int] = field(default_factory=list)
+    preloaded: int = 0
+    plain: int = 0
+    analysis: Optional[RailAnalysis] = None
+
+    @property
+    def droc_counts(self) -> Tuple[int, int]:
+        """(non-preloaded, preloaded) DROC counts — the paper's Table 5 pair."""
+        return self.plain, self.preloaded
+
+
+def pipeline_combinational(
+    aig: Aig,
+    stages: int,
+    analysis: Optional[RailAnalysis] = None,
+    optimize_polarity: bool = True,
+    splitter_style: str = "balanced",
+    name: Optional[str] = None,
+) -> PipelineResult:
+    """Insert ``stages`` architectural pipeline stages into a combinational AIG.
+
+    Args:
+        aig: Combinational AIG (typically already optimised).
+        stages: Number of architectural pipeline stages; 0 returns the
+            unpipelined mapping.
+        analysis: Optional pre-computed rail analysis of the *pipelined* AIG;
+            normally left None so the polarity assignment is recomputed.
+        optimize_polarity: Run the output phase assignment heuristic.
+        splitter_style: Fanout splitter tree style.
+        name: Netlist name.
+
+    Returns:
+        A :class:`PipelineResult`.
+    """
+    if aig.latches:
+        raise MappingError("pipeline_combinational expects a combinational AIG")
+    if stages < 0:
+        raise MappingError("stages must be non-negative")
+
+    ranks = 2 * stages
+    pipelined = insert_pipeline_registers(aig, ranks, name_prefix=_PIPE_PREFIX) if ranks else aig.cleanup()
+    if name:
+        pipelined.name = name
+
+    if analysis is None:
+        if optimize_polarity:
+            _, analysis = assign_output_polarities(pipelined)
+        else:
+            analysis = analyze_rails(pipelined)
+
+    netlist = map_combinational(
+        pipelined, analysis, name=name or pipelined.name, insert_fanout_splitters=False
+    )
+
+    rank_of = pipeline_register_ranks(pipelined, _PIPE_PREFIX)
+    drocs_per_rank = [0] * (ranks + 1)
+    preloaded_total = 0
+    plain_total = 0
+    latch_output_nets = set()
+    for latch in pipelined.latches:
+        rank = rank_of.get(latch.name, 1)
+        # The first rank of every excite/relax pair is preloaded so that the
+        # alternating property is established by the start-up trigger.
+        preload = (rank % 2) == 1
+        sink_name = f"{latch.name}$next"
+        polarity = analysis.polarities.get(sink_name, Rail.POS)
+        rail = fanin_rail(latch.next_lit, polarity)
+        data_net = rail_net(lit_node(latch.next_lit), rail, pipelined)
+        q_pos = rail_net(latch.node, Rail.POS, pipelined)
+        q_neg = rail_net(latch.node, Rail.NEG, pipelined)
+        netlist.add_cell(
+            CellKind.DROC,
+            [data_net],
+            [q_pos, q_neg],
+            name=f"droc_{latch.name}",
+            preload=preload,
+        )
+        latch_output_nets.update({q_pos, q_neg})
+        if rank < len(drocs_per_rank):
+            drocs_per_rank[rank] += 1
+        if preload:
+            preloaded_total += 1
+        else:
+            plain_total += 1
+
+    netlist.input_ports = [p for p in netlist.input_ports if p not in latch_output_nets]
+    if pipelined.latches:
+        _attach_clock_infrastructure(netlist, has_preloaded=preloaded_total > 0)
+    insert_splitters(netlist, splitter_style)
+
+    return PipelineResult(
+        netlist=netlist,
+        aig=pipelined,
+        stages=stages,
+        ranks=ranks,
+        drocs_per_rank=drocs_per_rank[1:],
+        preloaded=preloaded_total,
+        plain=plain_total,
+        analysis=analysis,
+    )
+
+
+def pipeline_clock_frequencies(
+    result: PipelineResult, library: Optional[XsfqLibrary] = None
+) -> Tuple[float, float]:
+    """Circuit and architectural clock frequency (GHz) of a pipelined design.
+
+    The circuit clock period is the worst stage delay (DROC-to-DROC or
+    IO-to-DROC combinational path); the architectural frequency halves it
+    because each logical cycle needs an excite and a relax phase.
+    """
+    library = library or default_library()
+    period_ps = result.netlist.critical_path_delay(library)
+    if period_ps <= 0:
+        return float("inf"), float("inf")
+    circuit = 1000.0 / period_ps
+    return circuit, circuit / 2.0

@@ -1,0 +1,205 @@
+"""Reporting helpers: paper-style component breakdowns and text tables.
+
+The evaluation harness (:mod:`repro.eval`) and the benchmark scripts use
+these helpers to print rows shaped like the paper's Tables 3-6: circuit
+name, LA/FA count, duplication penalty, DROC counts, JJ totals and savings
+over the RSFQ baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a simple fixed-width text table."""
+    columns = [list(map(_cell, col)) for col in zip(headers, *rows)] if rows else [[_cell(h)] for h in headers]
+    widths = [max(len(value) for value in column) for column in columns]
+    lines: List[str] = []
+    header_line = "  ".join(h.ljust(w) for h, w in zip(map(_cell, headers), widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in rows:
+        lines.append("  ".join(_cell(value).ljust(w) for value, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_percentage(value: float) -> str:
+    """Render a fraction as the paper renders duplication penalties (e.g. ``22%``)."""
+    return f"{round(value * 100)}%"
+
+
+def format_savings(savings_without: float, savings_with: float) -> str:
+    """Render the paper's double savings column (``4.4/5.7×``)."""
+    return f"{savings_without:.1f}/{savings_with:.1f}x"
+
+
+@dataclass
+class CircuitReport:
+    """Component breakdown of one synthesised circuit (one table row).
+
+    Attributes:
+        circuit: Circuit name.
+        la_fa: LA + FA cell count.
+        duplication: Duplication penalty (fraction, 0..1).
+        droc_plain: Non-preloaded DROC count.
+        droc_preloaded: Preloaded DROC count.
+        splitters: Splitter cell count.
+        jj: JJ count of the xSFQ design (no-PTL cost model).
+        jj_ptl: JJ count with PTL interfaces.
+        baseline_name: Name of the RSFQ baseline being compared against.
+        baseline_jj: JJ count of the baseline (no clock-splitting overhead).
+        baseline_jj_clocked: Baseline JJ count including clock splitting.
+        depth: Logical depth without splitters.
+        depth_with_splitters: Logical depth including splitters.
+        clock_circuit_ghz: Circuit clock frequency.
+        clock_arch_ghz: Architectural clock frequency.
+    """
+
+    circuit: str
+    la_fa: int = 0
+    duplication: float = 0.0
+    droc_plain: int = 0
+    droc_preloaded: int = 0
+    splitters: int = 0
+    jj: int = 0
+    jj_ptl: int = 0
+    baseline_name: str = ""
+    baseline_jj: Optional[int] = None
+    baseline_jj_clocked: Optional[int] = None
+    depth: int = 0
+    depth_with_splitters: int = 0
+    clock_circuit_ghz: float = 0.0
+    clock_arch_ghz: float = 0.0
+    extras: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def jj_savings(self) -> Optional[float]:
+        """JJ savings over the baseline without clock-splitting overhead."""
+        if not self.baseline_jj or not self.jj:
+            return None
+        return self.baseline_jj / self.jj
+
+    @property
+    def jj_savings_clocked(self) -> Optional[float]:
+        """JJ savings including the baseline's 30% clock-splitting overhead."""
+        if not self.jj:
+            return None
+        baseline = self.baseline_jj_clocked
+        if baseline is None and self.baseline_jj is not None:
+            baseline = round(self.baseline_jj * 1.3)
+        if baseline is None:
+            return None
+        return baseline / self.jj
+
+    def droc_pair(self) -> str:
+        """Format the DROC column the way the paper does (``without/with`` preloading)."""
+        return f"{self.droc_plain}/{self.droc_preloaded}"
+
+    def savings_pair(self) -> str:
+        """Format the JJ-savings column (``x.x/y.yx``)."""
+        without = self.jj_savings
+        with_clock = self.jj_savings_clocked
+        if without is None or with_clock is None:
+            return "-"
+        return format_savings(without, with_clock)
+
+
+def combinational_table(reports: Sequence[CircuitReport], baseline_label: str = "Baseline") -> str:
+    """Render a Table-4-style comparison for combinational circuits."""
+    headers = ["Circuit", f"{baseline_label} #JJ", "#LA/FA", "Dupl.", "#DROC", "#JJ", "JJ Savings"]
+    rows = [
+        [
+            r.circuit,
+            r.baseline_jj if r.baseline_jj is not None else "-",
+            r.la_fa,
+            format_percentage(r.duplication),
+            r.droc_plain + r.droc_preloaded,
+            r.jj,
+            r.savings_pair(),
+        ]
+        for r in reports
+    ]
+    return format_table(headers, rows)
+
+
+def sequential_table(reports: Sequence[CircuitReport], baseline_label: str = "qSeq") -> str:
+    """Render a Table-6-style comparison for sequential circuits."""
+    headers = ["Circuit", f"{baseline_label} #JJ", "#LA/FA", "Dupl.", "#DROCs", "#JJ", "JJ Savings"]
+    rows = [
+        [
+            r.circuit,
+            r.baseline_jj if r.baseline_jj is not None else "-",
+            r.la_fa,
+            format_percentage(r.duplication),
+            r.droc_pair(),
+            r.jj,
+            r.savings_pair(),
+        ]
+        for r in reports
+    ]
+    return format_table(headers, rows)
+
+
+def pipelining_table(reports: Sequence[CircuitReport]) -> str:
+    """Render a Table-5-style pipelining study."""
+    headers = [
+        "# Pipeline stages",
+        "#JJ",
+        "#LA/FA",
+        "Dupl.",
+        "#DROC",
+        "Logical depth",
+        "Clock freq. (GHz)",
+    ]
+    rows = []
+    for r in reports:
+        stages = r.extras.get("stages", "?")
+        ranks = r.extras.get("ranks", "?")
+        rows.append(
+            [
+                f"{stages}/{ranks}",
+                r.jj,
+                r.la_fa,
+                format_percentage(r.duplication),
+                r.droc_pair(),
+                f"{r.depth}/{r.depth_with_splitters}",
+                f"{r.clock_circuit_ghz:.1f}/{r.clock_arch_ghz:.1f}",
+            ]
+        )
+    return format_table(headers, rows)
+
+
+def duplication_table(penalties: Mapping[str, float]) -> str:
+    """Render a Table-3-style duplication-penalty summary."""
+    headers = ["Circuit", "Dupl."]
+    rows = [[name, format_percentage(value)] for name, value in penalties.items()]
+    return format_table(headers, rows)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of a sequence of positive numbers (0.0 when empty)."""
+    values = [v for v in values if v > 0]
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Arithmetic mean (0.0 when empty)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,264 @@
+"""Sequential xSFQ synthesis: DROC flip-flops, preloading and pipeline balancing.
+
+Paper Section 3.2.  Every logical flip-flop of a sequential design becomes a
+pair of DROC cells so the dual-rail *alternating* property is preserved
+across clock cycles: the excite phase of a logical cycle is processed in one
+synchronous phase and the relax phase in the next.  Of each pair, exactly
+one DROC carries preloading hardware (a DC-to-SFQ converter hanging off a
+global voltage line) so it can emit a logical 1 during the very first cycle;
+together with a one-shot *trigger* signal this guarantees correct
+excite/relax patterning even in circuits with feedback (the initialisation
+strategy of Figure 6).
+
+Placing both DROCs of a pair back to back wastes half of the pipeline, so —
+as the paper does with ABC retiming — the non-preloaded DROC of every pair
+is pushed forward into the combinational logic, landing on a depth-balanced
+level cut.  The resulting two synchronous ranks have roughly equal depth,
+which is what determines the circuit clock frequency reported in the
+evaluation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..aig.graph import Aig, lit_node
+from ..aig.retime import cut_signals, level_cut
+from .cells import CellKind, XsfqLibrary, default_library
+from .dual_rail import (
+    MappingError,
+    OutputPort,
+    XsfqNetlist,
+    fanin_rail,
+    insert_splitters,
+    map_combinational,
+    rail_net,
+)
+from .polarity import Rail, RailAnalysis, analyze_rails
+
+#: Net names used for the global synchronisation signals.
+CLOCK_NET = "clk"
+TRIGGER_NET = "trg"
+
+
+@dataclass
+class SequentialMappingInfo:
+    """Bookkeeping produced by :func:`map_sequential`.
+
+    Attributes:
+        preloaded_drocs: Names of DROC cells with preloading hardware.
+        plain_drocs: Names of DROC cells without preloading hardware.
+        latch_drocs: Map from logical flip-flop (latch) name to its boundary
+            DROC cell name.
+        midpoint_nodes: AIG nodes on which the retimed (second) DROC rank
+            was placed.
+        cut_level: Level threshold used for the retimed rank (None when
+            retiming was disabled).
+        stage_depths: Logic depth (LA/FA cells) of each synchronous stage.
+    """
+
+    preloaded_drocs: List[str] = field(default_factory=list)
+    plain_drocs: List[str] = field(default_factory=list)
+    latch_drocs: Dict[str, str] = field(default_factory=dict)
+    midpoint_nodes: List[int] = field(default_factory=list)
+    cut_level: Optional[int] = None
+    stage_depths: List[int] = field(default_factory=list)
+
+    @property
+    def droc_counts(self) -> Tuple[int, int]:
+        """(non-preloaded, preloaded) DROC cell counts."""
+        return len(self.plain_drocs), len(self.preloaded_drocs)
+
+
+def _attach_clock_infrastructure(netlist: XsfqNetlist, has_preloaded: bool) -> None:
+    """Declare the clock / trigger nets and the trigger merger cell.
+
+    Per the paper, the only clock-tree additions specific to xSFQ are a
+    merger cell (5 JJ) that injects the one-shot trigger pulse into the
+    clock line of the preloaded DROC rank, plus the external trigger itself.
+    """
+    netlist.clock_nets.append(CLOCK_NET)
+    if has_preloaded:
+        netlist.trigger_nets.append(TRIGGER_NET)
+        netlist.add_cell(
+            CellKind.MERGER,
+            [CLOCK_NET, TRIGGER_NET],
+            [f"{CLOCK_NET}_preload"],
+            name="trigger_merger",
+        )
+
+
+def map_sequential(
+    aig: Aig,
+    analysis: Optional[RailAnalysis] = None,
+    name: Optional[str] = None,
+    retime: bool = True,
+    splitter_style: str = "balanced",
+) -> Tuple[XsfqNetlist, SequentialMappingInfo]:
+    """Map a sequential AIG to an xSFQ netlist with DROC-pair flip-flops.
+
+    Args:
+        aig: Sequential AIG (latches represent logical flip-flops).
+        analysis: Rail-requirement analysis (defaults to all-positive sinks).
+        name: Netlist name.
+        retime: Push the non-preloaded DROC of every pair into the
+            combinational logic at a depth-balanced cut (paper Section 3.2).
+            When False the two DROCs of a pair sit back to back.
+        splitter_style: Fanout splitter tree style.
+
+    Returns:
+        ``(netlist, info)`` — the mapped netlist (including clock/trigger
+        infrastructure) and a :class:`SequentialMappingInfo`.
+    """
+    if not aig.latches:
+        raise MappingError("map_sequential requires a sequential AIG; use map_combinational")
+    if analysis is None:
+        analysis = analyze_rails(aig)
+    netlist = map_combinational(
+        aig, analysis, name=name, insert_fanout_splitters=False
+    )
+    info = SequentialMappingInfo()
+
+    levels = aig.levels()
+    depth = aig.depth()
+    threshold: Optional[int] = None
+    mid_nodes: List[int] = []
+    if retime and depth >= 2:
+        threshold = level_cut(aig, 0.5)
+        mid_nodes = [n for n in cut_signals(aig, threshold) if aig.is_and(n)]
+    info.cut_level = threshold
+    info.midpoint_nodes = list(mid_nodes)
+
+    # ------------------------------------------------------------------
+    # Mid-rank (non-preloaded) DROCs at the balanced cut.
+    # ------------------------------------------------------------------
+    renamed: Dict[str, str] = {}
+    for node in mid_nodes:
+        pos_net = netlist.node_rail_nets.get((node, Rail.POS))
+        neg_net = netlist.node_rail_nets.get((node, Rail.NEG))
+        source = pos_net or neg_net
+        if source is None:
+            continue
+        q_pos = f"n{node}_p$q"
+        q_neg = f"n{node}_n$q"
+        cell = netlist.add_cell(
+            CellKind.DROC, [source], [q_pos, q_neg], name=f"droc_mid_n{node}"
+        )
+        info.plain_drocs.append(cell.name)
+        if pos_net is not None:
+            renamed[pos_net] = q_pos
+        if neg_net is not None:
+            renamed[neg_net] = q_neg
+
+    # Rewire consumers that live above the cut to the registered nets.
+    if renamed and threshold is not None:
+        for cell in netlist.cells:
+            node = netlist.cell_aig_nodes.get(cell.name)
+            if node is None or levels[node] <= threshold:
+                continue
+            cell.inputs = [renamed.get(net, net) for net in cell.inputs]
+
+    # ------------------------------------------------------------------
+    # Boundary (preloaded) DROCs: one per logical flip-flop.  Every logical
+    # flip-flop must consist of a DROC *pair* so that the two synchronous
+    # phases of a logical cycle are separated; the second (non-preloaded)
+    # DROC of the pair is either the mid-rank cell the feedback path already
+    # crosses (when retiming is enabled) or an explicit back-to-back partner.
+    # ------------------------------------------------------------------
+    sink_polarity = analysis.polarities
+    mid_node_set = set(mid_nodes)
+    latch_output_nets: Set[str] = set()
+    for latch in aig.latches:
+        sink_name = f"{latch.name}$next"
+        polarity = sink_polarity.get(sink_name, Rail.POS)
+        rail = fanin_rail(latch.next_lit, polarity)
+        data_net = rail_net(lit_node(latch.next_lit), rail, aig)
+        # If the next-state driver sits below the cut it received a mid-rank
+        # DROC itself (next-state sinks are combinational roots and are
+        # therefore part of the cut), so take the registered net.
+        data_net = renamed.get(data_net, data_net)
+        q_pos = rail_net(latch.node, Rail.POS, aig)
+        q_neg = rail_net(latch.node, Rail.NEG, aig)
+        driver_node = lit_node(latch.next_lit)
+        feedback_crosses_cut = (
+            threshold is not None
+            and aig.is_and(driver_node)
+            and (driver_node in mid_node_set or levels[driver_node] > threshold)
+        )
+        if feedback_crosses_cut:
+            cell = netlist.add_cell(
+                CellKind.DROC,
+                [data_net],
+                [q_pos, q_neg],
+                name=f"droc_{latch.name}",
+                preload=True,
+            )
+        else:
+            mid_pos = f"{latch.name}_pair_p"
+            mid_neg = f"{latch.name}_pair_n"
+            cell = netlist.add_cell(
+                CellKind.DROC,
+                [data_net],
+                [mid_pos, mid_neg],
+                name=f"droc_{latch.name}",
+                preload=True,
+            )
+            partner = netlist.add_cell(
+                CellKind.DROC,
+                [mid_pos],
+                [q_pos, q_neg],
+                name=f"droc_{latch.name}_b",
+            )
+            info.plain_drocs.append(partner.name)
+        info.preloaded_drocs.append(cell.name)
+        info.latch_drocs[latch.name] = cell.name
+        latch_output_nets.update({q_pos, q_neg})
+
+    # Latch-output rails are now driven by DROCs, not by input ports.
+    netlist.input_ports = [p for p in netlist.input_ports if p not in latch_output_nets]
+
+    _attach_clock_infrastructure(netlist, has_preloaded=bool(info.preloaded_drocs))
+    insert_splitters(netlist, splitter_style)
+
+    # Stage depths: with the mid rank in place the longest LA/FA path in the
+    # netlist is per-stage by construction (storage cells cut paths).
+    if threshold is not None:
+        info.stage_depths = [threshold, max(depth - threshold, 0)]
+    else:
+        info.stage_depths = [depth]
+    return netlist, info
+
+
+def clock_frequency_ghz(
+    netlist: XsfqNetlist,
+    library: Optional[XsfqLibrary] = None,
+) -> Tuple[float, float]:
+    """Circuit and architectural clock frequencies of a mapped design.
+
+    The circuit clock period is the worst combinational path delay between
+    synchronisation boundaries (DROC clock-to-Q plus LA/FA/splitter path);
+    the architectural frequency is half the circuit frequency because every
+    logical cycle consumes an excite *and* a relax phase (paper Table 5).
+    Returns ``(circuit_ghz, architectural_ghz)``.
+    """
+    library = library or default_library()
+    period_ps = netlist.critical_path_delay(library)
+    if period_ps <= 0:
+        return float("inf"), float("inf")
+    circuit = 1000.0 / period_ps
+    return circuit, circuit / 2.0
+
+
+def legacy_dro_flipflop_cost(num_flipflops: int, library: Optional[XsfqLibrary] = None) -> int:
+    """JJ cost of the *legacy* four-DRO logical flip-flop (Figure 6i).
+
+    Used by the ablation benchmarks to quantify what the DROC-pair design
+    saves: the original xSFQ paper used two DRO cells per rail (four per
+    logical flip-flop), two of which must be preloaded through merged SFQ
+    inputs (approximated here with a merger per preloaded DRO).
+    """
+    library = library or default_library()
+    dro = library.jj_count(CellKind.DRO)
+    merger = library.jj_count(CellKind.MERGER)
+    return num_flipflops * (4 * dro + 2 * merger)

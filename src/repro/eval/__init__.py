@@ -1,0 +1,39 @@
+"""Experiment harness reproducing every table and figure of the paper."""
+
+from . import paper_data
+from .experiments import (
+    ExperimentResult,
+    TABLE3_CIRCUITS,
+    TABLE4_CIRCUITS,
+    counter_network,
+    full_adder_network,
+    run_figure1,
+    run_figure4_5,
+    run_figure7,
+    run_headline,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+
+__all__ = [
+    "paper_data",
+    "ExperimentResult",
+    "TABLE3_CIRCUITS",
+    "TABLE4_CIRCUITS",
+    "full_adder_network",
+    "counter_network",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_figure1",
+    "run_figure4_5",
+    "run_figure7",
+    "run_headline",
+]

@@ -1,0 +1,165 @@
+"""Reference numbers from the paper's evaluation section.
+
+These are the values printed in the paper's Tables 3-6, kept here so every
+experiment runner can show "paper vs. measured" side by side (EXPERIMENTS.md
+records the comparison for one full run).  The baseline columns (PBMap,
+qSeq) are the published JJ counts the paper compared against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+# ---------------------------------------------------------------------------
+# Table 3: duplication penalty for the EPFL control circuits (fractions).
+# ---------------------------------------------------------------------------
+
+TABLE3_DUPLICATION: Dict[str, float] = {
+    "arbiter": 0.00,
+    "cavlc": 0.08,
+    "ctrl": 0.09,
+    "dec": 0.00,
+    "i2c": 0.06,
+    "int2float": 0.06,
+    "mem_ctrl": 0.06,
+    "priority": 0.22,
+    "router": 0.44,
+    "voter": 0.99,
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 4: ISCAS85 + EPFL combinational circuits vs PBMap.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table4Row:
+    """One row of the paper's Table 4."""
+
+    circuit: str
+    pbmap_jj: int
+    la_fa: int
+    duplication: float
+    droc: int
+    jj: int
+    savings: float
+    savings_with_clock: float
+
+
+TABLE4_ROWS: Dict[str, Table4Row] = {
+    row.circuit: row
+    for row in [
+        Table4Row("c880", 12909, 452, 0.50, 0, 2942, 4.4, 5.7),
+        Table4Row("c1908", 12013, 503, 0.71, 0, 3398, 3.6, 4.6),
+        Table4Row("c499", 7758, 682, 0.75, 0, 4624, 1.7, 2.2),
+        Table4Row("c3540", 28300, 1646, 0.93, 0, 11288, 2.5, 3.3),
+        Table4Row("c5315", 52033, 1944, 0.42, 0, 13197, 4.0, 5.1),
+        Table4Row("c7552", 48482, 2571, 0.76, 0, 17157, 2.8, 3.7),
+        Table4Row("int2float", 6432, 225, 0.06, 0, 1530, 4.2, 5.5),
+        Table4Row("dec", 5469, 304, 0.00, 0, 2848, 1.9, 2.5),
+        Table4Row("priority", 102085, 892, 0.22, 0, 5503, 18.6, 24.1),
+        Table4Row("sin", 215318, 9977, 0.99, 0, 69770, 3.1, 4.0),
+        Table4Row("cavlc", 16339, 721, 0.08, 0, 5020, 3.3, 4.2),
+    ]
+}
+
+#: Average JJ savings over PBMap reported in the text (without / with the 30%
+#: clock-splitting overhead applied to the baseline).
+TABLE4_AVERAGE_SAVINGS: Tuple[float, float] = (4.5, 5.9)
+
+
+# ---------------------------------------------------------------------------
+# Table 5: pipelined c6288 (16x16 multiplier).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table5Row:
+    """One row of the paper's Table 5."""
+
+    arch_stages: int
+    circuit_stages: int
+    jj: int
+    la_fa: int
+    duplication: float
+    droc_plain: int
+    droc_preloaded: int
+    depth: int
+    depth_with_splitters: int
+    clock_circuit_ghz: float
+    clock_arch_ghz: float
+
+
+TABLE5_ROWS: Dict[int, Table5Row] = {
+    row.arch_stages: row
+    for row in [
+        Table5Row(0, 0, 25853, 3707, 0.97, 0, 0, 90, 170, 0.9, 0.5),
+        Table5Row(1, 2, 27312, 3669, 0.95, 91, 32, 46, 90, 1.6, 0.8),
+        Table5Row(2, 4, 29399, 3572, 0.89, 171, 123, 24, 48, 3.0, 1.5),
+    ]
+}
+
+
+# ---------------------------------------------------------------------------
+# Table 6: ISCAS89 sequential circuits vs qSeq.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Table6Row:
+    """One row of the paper's Table 6."""
+
+    circuit: str
+    qseq_jj: int
+    la_fa: int
+    duplication: float
+    droc_plain: int
+    droc_preloaded: int
+    jj: int
+    savings: float
+    savings_with_clock: float
+
+
+TABLE6_ROWS: Dict[str, Table6Row] = {
+    row.circuit: row
+    for row in [
+        Table6Row("s27", 527, 12, 0.71, 3, 3, 162, 3.3, 4.3),
+        Table6Row("s298", 3698, 107, 0.24, 18, 14, 1228, 3.0, 3.9),
+        Table6Row("s344", 5475, 117, 0.24, 19, 15, 1357, 4.0, 5.2),
+        Table6Row("s349", 5475, 118, 0.26, 19, 15, 1364, 4.0, 5.2),
+        Table6Row("s382", 4934, 135, 0.26, 29, 21, 1724, 2.9, 3.8),
+        Table6Row("s386", 4580, 153, 0.61, 11, 6, 1295, 3.5, 4.6),
+        Table6Row("s400", 5144, 133, 0.30, 25, 21, 1664, 3.1, 4.0),
+        Table6Row("s420.1", 5661, 128, 0.20, 16, 16, 1354, 4.2, 5.5),
+        Table6Row("s444", 5148, 133, 0.36, 28, 21, 1706, 3.0, 3.9),
+        Table6Row("s510", 7085, 287, 0.31, 19, 6, 2265, 3.1, 4.0),
+        Table6Row("s526", 6365, 159, 0.24, 25, 21, 1819, 3.5, 4.6),
+        Table6Row("s641", 11462, 167, 0.34, 17, 17, 1653, 6.9, 9.0),
+        Table6Row("s713", 11421, 167, 0.34, 17, 17, 1653, 6.9, 9.0),
+        Table6Row("s820", 9797, 308, 0.34, 6, 5, 2284, 4.3, 5.6),
+        Table6Row("s832", 9641, 298, 0.32, 5, 5, 2204, 4.4, 5.7),
+        Table6Row("s838.1", 12710, 256, 0.17, 32, 32, 2714, 4.7, 6.1),
+    ]
+}
+
+#: Average JJ savings over qSeq reported in the text.
+TABLE6_AVERAGE_SAVINGS: Tuple[float, float] = (4.1, 5.3)
+
+#: Headline result from the abstract: average JJ reduction across suites.
+ABSTRACT_AVERAGE_REDUCTION = 0.80  # "over 80%"
+ABSTRACT_AVERAGE_SAVINGS = 4.3     # "average reduction of 4.3x"
+ABSTRACT_MAX_SAVINGS = 20.0        # "nearly 20x maximum reduction"
+
+#: Full-adder walk-through from Sections 3.1.1-3.1.5 (cells, splitters,
+#: JJ without PTLs, JJ with PTLs).
+FULL_ADDER_STEPS: Dict[str, Tuple[int, int, int, int]] = {
+    "direct": (18, 16, 120, 264),
+    "aig": (14, 12, 92, 204),
+    "polarity": (11, 7, 65, 153),
+    "domino": (10, 6, 58, 138),
+}
+
+#: Figure 4: minimal AIG node count of a full adder.
+FULL_ADDER_MIN_AIG_NODES = 7

@@ -1,0 +1,55 @@
+"""Technology-independent gate-level netlists and file-format front ends.
+
+This package is the framework's replacement for the netlist layer of the
+Yosys/ABC flow used in the paper: circuits enter the flow as
+:class:`~repro.netlist.network.LogicNetwork` objects — built procedurally
+(:class:`~repro.netlist.network.NetworkBuilder`), generated from the RTL eDSL
+(:mod:`repro.rtl`), or parsed from ISCAS ``.bench``, BLIF, or structural
+Verilog files — and are then converted to AND-Inverter graphs for
+optimisation and mapping.
+"""
+
+from .network import (
+    COMBINATIONAL_TYPES,
+    Gate,
+    GateType,
+    LogicNetwork,
+    NetworkBuilder,
+    NetworkError,
+)
+from .bench import parse_bench, read_bench, save_bench, write_bench
+from .blif import parse_blif, read_blif, save_blif, write_blif
+from .verilog import parse_verilog, read_verilog, save_verilog, write_verilog
+from .truth import (
+    format_truth_table,
+    input_assignment,
+    networks_equivalent,
+    sequential_traces_equal,
+    truth_tables,
+)
+
+__all__ = [
+    "COMBINATIONAL_TYPES",
+    "Gate",
+    "GateType",
+    "LogicNetwork",
+    "NetworkBuilder",
+    "NetworkError",
+    "parse_bench",
+    "read_bench",
+    "save_bench",
+    "write_bench",
+    "parse_blif",
+    "read_blif",
+    "save_blif",
+    "write_blif",
+    "parse_verilog",
+    "read_verilog",
+    "save_verilog",
+    "write_verilog",
+    "truth_tables",
+    "networks_equivalent",
+    "sequential_traces_equal",
+    "input_assignment",
+    "format_truth_table",
+]

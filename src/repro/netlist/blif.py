@@ -1,0 +1,235 @@
+"""Reader/writer for a practical subset of the Berkeley BLIF format.
+
+BLIF is the interchange format between Yosys and ABC in the paper's flow.
+Supported constructs:
+
+* ``.model`` / ``.inputs`` / ``.outputs`` / ``.end``
+* ``.names`` with single-output cover rows (PLA style, ``-`` don't-cares)
+* ``.latch <input> <output> [<type> <control>] [<init>]``
+
+``.names`` covers are converted into AND/OR/NOT structure when read, so the
+resulting :class:`~repro.netlist.network.LogicNetwork` only contains primitive
+gate types.  When writing, every gate is expressed as a ``.names`` cover.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .network import Gate, GateType, LogicNetwork, NetworkError
+
+
+class BlifParseError(NetworkError):
+    """Raised when BLIF source text cannot be parsed."""
+
+
+def _join_continuations(text: str) -> List[str]:
+    """Join lines ending with a backslash and strip comments."""
+    lines: List[str] = []
+    pending = ""
+    for raw in text.splitlines():
+        line = raw.split("#", 1)[0].rstrip()
+        if not line.strip() and not pending:
+            continue
+        if line.endswith("\\"):
+            pending += line[:-1] + " "
+            continue
+        lines.append((pending + line).strip())
+        pending = ""
+    if pending.strip():
+        lines.append(pending.strip())
+    return [ln for ln in lines if ln]
+
+
+def _cover_to_gates(
+    network: LogicNetwork, output: str, inputs: Sequence[str], rows: Sequence[Tuple[str, str]]
+) -> None:
+    """Lower a single-output PLA cover onto primitive gates driving ``output``."""
+    uid = [0]
+
+    def fresh(hint: str) -> str:
+        while True:
+            uid[0] += 1
+            name = f"{output}${hint}{uid[0]}"
+            if name not in network:
+                return name
+
+    if not inputs:
+        # Constant: a row of output value 1 means constant 1.
+        value = 1 if any(out_val == "1" for _, out_val in rows) else 0
+        network.add_gate(output, GateType.CONST1 if value else GateType.CONST0, [])
+        return
+    if not rows:
+        network.add_gate(output, GateType.CONST0, [])
+        return
+
+    out_polarity = rows[0][1]
+    if any(out_val != out_polarity for _, out_val in rows):
+        raise BlifParseError(f".names {output}: mixed output polarities are not supported")
+
+    product_terms: List[str] = []
+    for pattern, _ in rows:
+        if len(pattern) != len(inputs):
+            raise BlifParseError(
+                f".names {output}: row {pattern!r} does not match {len(inputs)} inputs"
+            )
+        literals: List[str] = []
+        for bit, signal in zip(pattern, inputs):
+            if bit == "1":
+                literals.append(signal)
+            elif bit == "0":
+                inv = fresh("inv")
+                network.add_gate(inv, GateType.NOT, [signal])
+                literals.append(inv)
+            elif bit == "-":
+                continue
+            else:
+                raise BlifParseError(f".names {output}: invalid cover character {bit!r}")
+        if not literals:
+            term = fresh("one")
+            network.add_gate(term, GateType.CONST1, [])
+        elif len(literals) == 1:
+            term = literals[0]
+        else:
+            term = fresh("and")
+            network.add_gate(term, GateType.AND, literals)
+        product_terms.append(term)
+
+    if len(product_terms) == 1:
+        sum_signal = product_terms[0]
+    else:
+        sum_signal = fresh("or")
+        network.add_gate(sum_signal, GateType.OR, product_terms)
+
+    if out_polarity == "1":
+        network.add_gate(output, GateType.BUF, [sum_signal])
+    else:
+        network.add_gate(output, GateType.NOT, [sum_signal])
+
+
+def parse_blif(text: str) -> LogicNetwork:
+    """Parse BLIF source text into a :class:`LogicNetwork`."""
+    lines = _join_continuations(text)
+    network: Optional[LogicNetwork] = None
+    idx = 0
+    while idx < len(lines):
+        tokens = lines[idx].split()
+        keyword = tokens[0]
+        if keyword == ".model":
+            if network is not None:
+                raise BlifParseError("multiple .model sections are not supported")
+            network = LogicNetwork(tokens[1] if len(tokens) > 1 else "blif")
+            idx += 1
+        elif keyword == ".inputs":
+            assert network is not None
+            for name in tokens[1:]:
+                network.add_input(name)
+            idx += 1
+        elif keyword == ".outputs":
+            assert network is not None
+            for name in tokens[1:]:
+                network.add_output(name)
+            idx += 1
+        elif keyword == ".names":
+            assert network is not None
+            signals = tokens[1:]
+            if not signals:
+                raise BlifParseError(".names requires at least an output signal")
+            output, inputs = signals[-1], signals[:-1]
+            rows: List[Tuple[str, str]] = []
+            idx += 1
+            while idx < len(lines) and not lines[idx].startswith("."):
+                row = lines[idx].split()
+                if inputs:
+                    if len(row) != 2:
+                        raise BlifParseError(f"invalid cover row {lines[idx]!r}")
+                    rows.append((row[0], row[1]))
+                else:
+                    rows.append(("", row[0]))
+                idx += 1
+            _cover_to_gates(network, output, inputs, rows)
+        elif keyword == ".latch":
+            assert network is not None
+            if len(tokens) < 3:
+                raise BlifParseError(f"invalid .latch line {lines[idx]!r}")
+            data_in, data_out = tokens[1], tokens[2]
+            init = 0
+            if len(tokens) >= 4 and tokens[-1] in {"0", "1", "2", "3"}:
+                init = 1 if tokens[-1] == "1" else 0
+            network.add_latch(data_out, data_in, init=init)
+            idx += 1
+        elif keyword == ".end":
+            idx += 1
+        else:
+            raise BlifParseError(f"unsupported BLIF construct {keyword!r}")
+    if network is None:
+        raise BlifParseError("no .model section found")
+    network.validate()
+    return network
+
+
+def read_blif(path: Union[str, Path]) -> LogicNetwork:
+    """Read a BLIF file from disk."""
+    return parse_blif(Path(path).read_text())
+
+
+_COVERS: Dict[GateType, str] = {
+    GateType.BUF: "1 1\n",
+    GateType.NOT: "0 1\n",
+}
+
+
+def _gate_cover(gate: Gate) -> str:
+    """Return the .names body for one gate."""
+    n = len(gate.fanins)
+    if gate.gate_type in _COVERS:
+        return _COVERS[gate.gate_type]
+    if gate.gate_type is GateType.CONST0:
+        return ""
+    if gate.gate_type is GateType.CONST1:
+        return "1\n"
+    if gate.gate_type is GateType.AND:
+        return "1" * n + " 1\n"
+    if gate.gate_type is GateType.NAND:
+        return "".join("-" * i + "0" + "-" * (n - i - 1) + " 1\n" for i in range(n))
+    if gate.gate_type is GateType.OR:
+        return "".join("-" * i + "1" + "-" * (n - i - 1) + " 1\n" for i in range(n))
+    if gate.gate_type is GateType.NOR:
+        return "0" * n + " 1\n"
+    if gate.gate_type in (GateType.XOR, GateType.XNOR):
+        want_odd = gate.gate_type is GateType.XOR
+        rows = []
+        for mask in range(1 << n):
+            ones = bin(mask).count("1")
+            if (ones % 2 == 1) == want_odd:
+                rows.append("".join("1" if mask >> i & 1 else "0" for i in range(n)) + " 1\n")
+        return "".join(rows)
+    if gate.gate_type is GateType.MUX:
+        # fanins are (sel, d0, d1)
+        return "0 1 - 1\n1 - 1 1\n"
+    raise NetworkError(f"cannot express gate type {gate.gate_type} in BLIF")
+
+
+def write_blif(network: LogicNetwork) -> str:
+    """Serialise a network to BLIF source text."""
+    lines: List[str] = [f".model {network.name}"]
+    lines.append(".inputs " + " ".join(network.inputs))
+    lines.append(".outputs " + " ".join(network.outputs))
+    for gate in network.gates.values():
+        if gate.gate_type is GateType.INPUT:
+            continue
+        if gate.gate_type is GateType.DFF:
+            lines.append(f".latch {gate.fanins[0]} {gate.name} re clk {gate.init}")
+            continue
+        lines.append(".names " + " ".join(list(gate.fanins) + [gate.name]))
+        cover = _gate_cover(gate)
+        if cover:
+            lines.append(cover.rstrip("\n"))
+    lines.append(".end")
+    return "\n".join(lines) + "\n"
+
+
+def save_blif(network: LogicNetwork, path: Union[str, Path]) -> None:
+    """Write a network to a BLIF file."""
+    Path(path).write_text(write_blif(network))

@@ -1,0 +1,184 @@
+"""Structural-Verilog reader/writer (gate-primitive subset).
+
+The paper's flow starts "from arbitrary register transfer level (RTL) code";
+in this reproduction the RTL front end is the eDSL in :mod:`repro.rtl`, and
+this module provides the complementary text format: a structural Verilog
+subset using gate primitives, so synthesised netlists can be exported to and
+imported from other tools.
+
+Supported constructs::
+
+    module top(a, b, y);
+      input a, b;
+      output y;
+      wire w1;
+      and g1 (w1, a, b);     // and/or/nand/nor/xor/xnor/not/buf primitives
+      assign y = w1;          // simple identifier/constant assigns
+      dff r1 (q, d);          // behavioural-free flip-flop primitive
+    endmodule
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .network import GateType, LogicNetwork, NetworkError
+
+_PRIMITIVES: Dict[str, GateType] = {
+    "and": GateType.AND,
+    "nand": GateType.NAND,
+    "or": GateType.OR,
+    "nor": GateType.NOR,
+    "xor": GateType.XOR,
+    "xnor": GateType.XNOR,
+    "not": GateType.NOT,
+    "buf": GateType.BUF,
+    "dff": GateType.DFF,
+    "mux": GateType.MUX,
+}
+
+_PRIMITIVE_NAMES: Dict[GateType, str] = {v: k for k, v in _PRIMITIVES.items()}
+
+_MODULE_RE = re.compile(r"module\s+([A-Za-z_][\w$]*)\s*\(([^;]*)\)\s*;", re.S)
+_GATE_RE = re.compile(
+    r"^(and|nand|or|nor|xor|xnor|not|buf|dff|mux)\s+(?:[A-Za-z_][\w$]*\s+)?\(([^)]*)\)$"
+)
+_ASSIGN_RE = re.compile(r"^assign\s+([^\s=]+)\s*=\s*(.+)$")
+
+
+class VerilogParseError(NetworkError):
+    """Raised when structural Verilog cannot be parsed."""
+
+
+def _escape(name: str) -> str:
+    """Escape a signal name for Verilog output if needed."""
+    if re.fullmatch(r"[A-Za-z_][\w$]*", name):
+        return name
+    return "\\" + name + " "
+
+
+def _strip_comments(text: str) -> str:
+    text = re.sub(r"//[^\n]*", "", text)
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    return text
+
+
+def parse_verilog(text: str) -> LogicNetwork:
+    """Parse a single structural-Verilog module into a :class:`LogicNetwork`."""
+    text = _strip_comments(text)
+    module = _MODULE_RE.search(text)
+    if not module:
+        raise VerilogParseError("no module declaration found")
+    name = module.group(1)
+    body_start = module.end()
+    body_end = text.find("endmodule", body_start)
+    if body_end < 0:
+        raise VerilogParseError("missing endmodule")
+    body = text[body_start:body_end]
+
+    network = LogicNetwork(name)
+    outputs: List[str] = []
+    statements = [s.strip() for s in body.split(";") if s.strip()]
+    for stmt in statements:
+        stmt = " ".join(stmt.split())
+        if stmt.startswith("input "):
+            for sig in stmt[len("input "):].split(","):
+                sig = sig.strip().lstrip("\\").strip()
+                if sig:
+                    network.add_input(sig)
+            continue
+        if stmt.startswith("output "):
+            for sig in stmt[len("output "):].split(","):
+                sig = sig.strip().lstrip("\\").strip()
+                if sig:
+                    outputs.append(sig)
+            continue
+        if stmt.startswith("wire ") or stmt.startswith("reg "):
+            continue  # declarations carry no structural information here
+        assign = _ASSIGN_RE.match(stmt)
+        if assign:
+            target = assign.group(1).lstrip("\\").strip()
+            source = assign.group(2).strip()
+            if source in ("1'b0", "1'd0", "0"):
+                network.add_gate(target, GateType.CONST0, [])
+            elif source in ("1'b1", "1'd1", "1"):
+                network.add_gate(target, GateType.CONST1, [])
+            elif source.startswith("~"):
+                network.add_gate(target, GateType.NOT, [source[1:].lstrip("\\").strip()])
+            else:
+                network.add_gate(target, GateType.BUF, [source.lstrip("\\").strip()])
+            continue
+        gate = _GATE_RE.match(stmt)
+        if gate:
+            gtype = _PRIMITIVES[gate.group(1)]
+            ports = [p.strip().lstrip("\\").strip() for p in gate.group(2).split(",")]
+            if len(ports) < 2:
+                raise VerilogParseError(f"gate statement {stmt!r} needs output and inputs")
+            out, fanins = ports[0], ports[1:]
+            if gtype is GateType.DFF:
+                network.add_latch(out, fanins[0])
+            elif gtype is GateType.MUX:
+                # Verilog-style port order (out, d0, d1, sel) -> internal (sel, d0, d1)
+                if len(fanins) != 3:
+                    raise VerilogParseError(f"mux {stmt!r} needs 3 inputs")
+                d0, d1, sel = fanins
+                network.add_gate(out, GateType.MUX, [sel, d0, d1])
+            else:
+                network.add_gate(out, gtype, fanins)
+            continue
+        raise VerilogParseError(f"unsupported statement: {stmt!r}")
+
+    for out in outputs:
+        network.add_output(out)
+    network.validate()
+    return network
+
+
+def read_verilog(path: Union[str, Path]) -> LogicNetwork:
+    """Read a structural Verilog file from disk."""
+    return parse_verilog(Path(path).read_text())
+
+
+def write_verilog(network: LogicNetwork) -> str:
+    """Serialise a network as a structural-Verilog module."""
+    ports = list(network.inputs) + list(dict.fromkeys(network.outputs))
+    lines: List[str] = [f"module {network.name}(" + ", ".join(_escape(p).strip() for p in ports) + ");"]
+    if network.inputs:
+        lines.append("  input " + ", ".join(_escape(p).strip() for p in network.inputs) + ";")
+    if network.outputs:
+        lines.append("  output " + ", ".join(_escape(p).strip() for p in dict.fromkeys(network.outputs)) + ";")
+    wires = [
+        g.name
+        for g in network.gates.values()
+        if g.gate_type is not GateType.INPUT and g.name not in network.outputs
+    ]
+    if wires:
+        lines.append("  wire " + ", ".join(_escape(w).strip() for w in wires) + ";")
+    counter = 0
+    for gate in network.gates.values():
+        if gate.gate_type is GateType.INPUT:
+            continue
+        counter += 1
+        if gate.gate_type is GateType.CONST0:
+            lines.append(f"  assign {_escape(gate.name).strip()} = 1'b0;")
+        elif gate.gate_type is GateType.CONST1:
+            lines.append(f"  assign {_escape(gate.name).strip()} = 1'b1;")
+        elif gate.gate_type is GateType.MUX:
+            sel, d0, d1 = gate.fanins
+            ports_str = ", ".join(_escape(s).strip() for s in (gate.name, d0, d1, sel))
+            lines.append(f"  mux g{counter} ({ports_str});")
+        else:
+            keyword = _PRIMITIVE_NAMES.get(gate.gate_type)
+            if keyword is None:
+                raise NetworkError(f"gate type {gate.gate_type} has no Verilog primitive")
+            ports_str = ", ".join(_escape(s).strip() for s in [gate.name] + list(gate.fanins))
+            lines.append(f"  {keyword} g{counter} ({ports_str});")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def save_verilog(network: LogicNetwork, path: Union[str, Path]) -> None:
+    """Write a network to a Verilog file."""
+    Path(path).write_text(write_verilog(network))

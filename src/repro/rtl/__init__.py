@@ -1,0 +1,5 @@
+"""RTL front end: a small Python-embedded HDL that elaborates to LogicNetwork."""
+
+from .dsl import Register, RtlModule, Signal, Word, WordRegister
+
+__all__ = ["RtlModule", "Signal", "Register", "Word", "WordRegister"]

@@ -1,0 +1,196 @@
+"""A tiny RTL eDSL that elaborates to :class:`LogicNetwork`.
+
+The paper's flow starts "from arbitrary register transfer level (RTL)
+code"; this module provides the Python-embedded front end for that role:
+designs are described with :class:`Signal` / :class:`Word` expressions and
+registers, and :meth:`RtlModule.elaborate` lowers them onto the
+technology-independent gate network that the rest of the flow consumes.
+
+Example::
+
+    m = RtlModule("accumulator")
+    enable = m.input("enable")
+    data = m.input_word("data", 8)
+    acc = m.register_word("acc", 8)
+    total = acc + data
+    acc.next_value(Word.mux(enable, acc, total))
+    m.output_word("total", acc)
+    network = m.elaborate()
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Union
+
+from ..netlist.network import LogicNetwork, NetworkBuilder
+
+
+class Signal:
+    """A single-bit signal inside an :class:`RtlModule`."""
+
+    def __init__(self, module: "RtlModule", net: str) -> None:
+        self.module = module
+        self.net = net
+
+    # -- boolean operators -------------------------------------------------
+    def __and__(self, other: "Signal") -> "Signal":
+        return self.module._wrap(self.module._builder.and_(self.net, other.net))
+
+    def __or__(self, other: "Signal") -> "Signal":
+        return self.module._wrap(self.module._builder.or_(self.net, other.net))
+
+    def __xor__(self, other: "Signal") -> "Signal":
+        return self.module._wrap(self.module._builder.xor(self.net, other.net))
+
+    def __invert__(self) -> "Signal":
+        return self.module._wrap(self.module._builder.not_(self.net))
+
+    def mux(self, if_zero: "Signal", if_one: "Signal") -> "Signal":
+        """``self ? if_one : if_zero``."""
+        return self.module._wrap(self.module._builder.mux(self.net, if_zero.net, if_one.net))
+
+
+class Register(Signal):
+    """A single-bit state element; assign its next value with :meth:`next_value`."""
+
+    def __init__(self, module: "RtlModule", net: str) -> None:
+        super().__init__(module, net)
+        self._assigned = False
+
+    def next_value(self, value: Signal) -> None:
+        """Set the signal captured at every clock edge."""
+        self.module._builder.network.gates[self.net].fanins = [value.net]
+        self._assigned = True
+
+
+class Word:
+    """A fixed-width little-endian vector of :class:`Signal` bits."""
+
+    def __init__(self, bits: Sequence[Signal]) -> None:
+        if not bits:
+            raise ValueError("a Word needs at least one bit")
+        self.bits = list(bits)
+        self.module = bits[0].module
+
+    def __len__(self) -> int:
+        return len(self.bits)
+
+    def __getitem__(self, index: Union[int, slice]) -> Union[Signal, "Word"]:
+        if isinstance(index, slice):
+            return Word(self.bits[index])
+        return self.bits[index]
+
+    # -- bitwise -----------------------------------------------------------
+    def _zip(self, other: "Word", op) -> "Word":
+        if len(other) != len(self):
+            raise ValueError("word width mismatch")
+        return Word([op(a, b) for a, b in zip(self.bits, other.bits)])
+
+    def __and__(self, other: "Word") -> "Word":
+        return self._zip(other, lambda a, b: a & b)
+
+    def __or__(self, other: "Word") -> "Word":
+        return self._zip(other, lambda a, b: a | b)
+
+    def __xor__(self, other: "Word") -> "Word":
+        return self._zip(other, lambda a, b: a ^ b)
+
+    def __invert__(self) -> "Word":
+        return Word([~bit for bit in self.bits])
+
+    # -- arithmetic / comparison -------------------------------------------
+    def __add__(self, other: "Word") -> "Word":
+        builder = self.module._builder
+        sums, _ = builder.ripple_adder([b.net for b in self.bits], [b.net for b in other.bits])
+        return Word([self.module._wrap(net) for net in sums])
+
+    def add_with_carry(self, other: "Word") -> tuple["Word", Signal]:
+        """Sum and carry-out."""
+        builder = self.module._builder
+        sums, carry = builder.ripple_adder([b.net for b in self.bits], [b.net for b in other.bits])
+        return Word([self.module._wrap(net) for net in sums]), self.module._wrap(carry)
+
+    def equals(self, other: "Word") -> Signal:
+        builder = self.module._builder
+        bits = [builder.xnor(a.net, b.net) for a, b in zip(self.bits, other.bits)]
+        return self.module._wrap(builder.and_(*bits))
+
+    def reduce_or(self) -> Signal:
+        builder = self.module._builder
+        return self.module._wrap(builder.or_(*[b.net for b in self.bits]))
+
+    def reduce_and(self) -> Signal:
+        builder = self.module._builder
+        return self.module._wrap(builder.and_(*[b.net for b in self.bits]))
+
+    def reduce_xor(self) -> Signal:
+        result = self.bits[0]
+        for bit in self.bits[1:]:
+            result = result ^ bit
+        return result
+
+    @staticmethod
+    def mux(select: Signal, if_zero: "Word", if_one: "Word") -> "Word":
+        return Word([select.mux(z, o) for z, o in zip(if_zero.bits, if_one.bits)])
+
+    def shifted_left(self, amount: int = 1) -> "Word":
+        """Logical shift left by a constant, keeping the width."""
+        zeros = [self.module.constant(0) for _ in range(amount)]
+        return Word((zeros + self.bits)[: len(self.bits)])
+
+
+class WordRegister(Word):
+    """A register word; assign its next value with :meth:`next_value`."""
+
+    def next_value(self, value: Word) -> None:
+        if len(value) != len(self):
+            raise ValueError("word width mismatch in register assignment")
+        for bit, nxt in zip(self.bits, value.bits):
+            self.module._builder.network.gates[bit.net].fanins = [nxt.net]
+
+
+class RtlModule:
+    """A small RTL design that elaborates into a :class:`LogicNetwork`."""
+
+    def __init__(self, name: str = "rtl") -> None:
+        self.name = name
+        self._builder = NetworkBuilder(name)
+
+    # -- construction helpers ------------------------------------------------
+    def _wrap(self, net: str) -> Signal:
+        return Signal(self, net)
+
+    def constant(self, value: int) -> Signal:
+        return self._wrap(self._builder.const(value))
+
+    def constant_word(self, value: int, width: int) -> Word:
+        return Word([self.constant((value >> k) & 1) for k in range(width)])
+
+    def input(self, name: str) -> Signal:
+        return self._wrap(self._builder.input(name))
+
+    def input_word(self, name: str, width: int) -> Word:
+        return Word([self._wrap(net) for net in self._builder.word_inputs(name, width)])
+
+    def register(self, name: str, init: int = 0) -> Register:
+        net = self._builder.dff(self._builder.const(0), name=name, init=init)
+        return Register(self, net)
+
+    def register_word(self, name: str, width: int, init: int = 0) -> WordRegister:
+        bits = [
+            Register(self, self._builder.dff(self._builder.const(0), name=f"{name}[{k}]", init=(init >> k) & 1))
+            for k in range(width)
+        ]
+        return WordRegister(bits)
+
+    def output(self, name: str, signal: Signal) -> None:
+        self._builder.output(signal.net, name)
+
+    def output_word(self, name: str, word: Word) -> None:
+        for k, bit in enumerate(word.bits):
+            self._builder.output(bit.net, f"{name}[{k}]")
+
+    # -- elaboration ----------------------------------------------------------
+    def elaborate(self, validate: bool = True) -> LogicNetwork:
+        """Lower the module to a gate-level network."""
+        return self._builder.finish(validate=validate)

@@ -1,0 +1,5 @@
+"""Simulation substrates: pulse-level (event-driven) and analog (RCSJ)."""
+
+from . import pulse
+
+__all__ = ["pulse"]

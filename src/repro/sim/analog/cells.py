@@ -1,0 +1,110 @@
+"""Analog cell templates: JTL, LA (C element), FA and DROC in the RCSJ model.
+
+Each builder returns a :class:`JjCircuit` plus the node indices used for
+stimulus and observation, so characterisation (delay extraction from phase
+slips) can be scripted the same way the paper scripts HSPICE.  The
+parameters are loosely based on the 100 uA/um2 SFQ5ee process the paper
+uses (Ic around 100-250 uA, inductances of a few pH); they are tuned for
+robust pulse propagation in the reduced model rather than for layout
+accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .rcsj import CurrentSource, Inductor, JjCircuit, Junction, sfq_pulse_train
+
+
+@dataclass
+class AnalogCell:
+    """A JJ circuit plus its interface node indices."""
+
+    circuit: JjCircuit
+    input_nodes: Dict[str, int]
+    output_node: int
+    description: str = ""
+
+
+def jtl_chain(num_stages: int = 3, bias_fraction: float = 0.7) -> AnalogCell:
+    """A chain of JTL stages: the canonical pulse-propagation test bench."""
+    circuit = JjCircuit(num_stages)
+    for stage in range(num_stages):
+        circuit.add_junction(Junction(stage, critical_current=150e-6))
+        circuit.add_source(CurrentSource(stage, amplitude=bias_fraction * 150e-6))
+        if stage > 0:
+            circuit.add_inductor(Inductor(stage - 1, stage, 4e-12))
+    return AnalogCell(circuit, {"a": 0}, num_stages - 1, "JTL chain")
+
+
+def la_cell(bias_fraction: float = 0.65) -> AnalogCell:
+    """Last-Arrival (C element) template: two input branches merging on an output junction.
+
+    Each input branch is under-biased so a single incoming pulse cannot flip
+    the output junction; the stored flux from the first pulse plus the
+    current of the second pushes the output junction over its critical
+    current — the AND behaviour of the dual-rail mapping.
+    """
+    # Nodes: 0 = input a buffer, 1 = input b buffer, 2 = output junction.
+    # The 12 pH coupling inductors make a single 2*pi slip on one input
+    # insufficient (Phi0 / 12 pH ~ 170 uA of loop current against a 220 uA
+    # output junction at ~35% bias); the second input's slip tips it over.
+    circuit = JjCircuit(3)
+    circuit.add_junction(Junction(0, critical_current=150e-6))
+    circuit.add_junction(Junction(1, critical_current=150e-6))
+    circuit.add_junction(Junction(2, critical_current=220e-6))
+    circuit.add_source(CurrentSource(0, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(1, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(2, amplitude=bias_fraction * 220e-6 * 0.5))
+    circuit.add_inductor(Inductor(0, 2, 12e-12))
+    circuit.add_inductor(Inductor(1, 2, 12e-12))
+    return AnalogCell(circuit, {"a": 0, "b": 1}, 2, "Last Arrival (C element)")
+
+
+def fa_cell(bias_fraction: float = 0.92) -> AnalogCell:
+    """First-Arrival (inverse C element) template.
+
+    The output junction is biased close to its critical current, so the
+    first incoming pulse fires it; the merging inductors are sized so the
+    second pulse finds the loop already holding compensating flux and is
+    absorbed.
+    """
+    circuit = JjCircuit(3)
+    circuit.add_junction(Junction(0, critical_current=150e-6))
+    circuit.add_junction(Junction(1, critical_current=150e-6))
+    circuit.add_junction(Junction(2, critical_current=160e-6))
+    circuit.add_source(CurrentSource(0, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(1, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(2, amplitude=bias_fraction * 160e-6))
+    circuit.add_inductor(Inductor(0, 2, 5e-12))
+    circuit.add_inductor(Inductor(1, 2, 5e-12))
+    return AnalogCell(circuit, {"a": 0, "b": 1}, 2, "First Arrival (inverse C element)")
+
+
+def droc_cell() -> AnalogCell:
+    """DROC template: data loop junction read out by a clock branch.
+
+    Node 0 receives data pulses and stores flux in the loop to node 2;
+    node 1 receives the clock; node 2 is the ``Qp`` output junction, which
+    fires when the clock arrives while the loop holds flux (the preloading
+    hardware of Figure 3 simply deposits that flux at start-up, modelled by
+    the ``initial_phases`` argument of :meth:`JjCircuit.simulate`).
+    """
+    circuit = JjCircuit(3)
+    circuit.add_junction(Junction(0, critical_current=150e-6))
+    circuit.add_junction(Junction(1, critical_current=150e-6))
+    circuit.add_junction(Junction(2, critical_current=200e-6))
+    circuit.add_source(CurrentSource(0, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(1, amplitude=0.7 * 150e-6))
+    circuit.add_source(CurrentSource(2, amplitude=0.35 * 200e-6))
+    circuit.add_inductor(Inductor(0, 2, 7e-12))
+    circuit.add_inductor(Inductor(1, 2, 5e-12))
+    return AnalogCell(circuit, {"data": 0, "clk": 1}, 2, "DRO with complementary outputs (Qp path)")
+
+
+def drive(cell: AnalogCell, pulses: Dict[str, Sequence[float]]) -> None:
+    """Attach pulse-train current sources to a cell's input nodes."""
+    for port, times in pulses.items():
+        node = cell.input_nodes[port]
+        cell.circuit.add_source(CurrentSource(node, waveform=sfq_pulse_train(times)))

@@ -1,0 +1,109 @@
+"""Cell characterisation on the reduced analog model (paper Section 2.3 / Figures 2-3).
+
+``characterize_jtl`` and friends run the RCSJ templates, verify that pulses
+propagate (or are suppressed, for the protocol-violating cases) and extract
+propagation delays from junction phase slips — the same procedure the paper
+applies in HSPICE to build its Liberty tables.  The shipped library numbers
+(Table 2) remain authoritative; these routines exist to reproduce the
+*methodology* and the waveform-level Figures 2-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .cells import AnalogCell, drive, droc_cell, fa_cell, jtl_chain, la_cell
+from .rcsj import JjWaveforms, propagation_delay
+
+
+@dataclass
+class CharacterizationResult:
+    """Outcome of one analog characterisation run.
+
+    Attributes:
+        cell: Cell name.
+        scenario: Stimulus description.
+        output_pulses: Number of SFQ pulses observed at the output.
+        delay_ps: Input-to-output delay in picoseconds (None when no pulse).
+        waveforms: Raw phase waveforms for plotting / inspection.
+    """
+
+    cell: str
+    scenario: str
+    output_pulses: int
+    delay_ps: Optional[float]
+    waveforms: JjWaveforms
+
+
+def _run(cell: AnalogCell, scenario: str, pulses: Dict[str, List[float]], duration: float = 300e-12,
+         reference_port: Optional[str] = None, initial_phases=None) -> CharacterizationResult:
+    drive(cell, pulses)
+    waveforms = cell.circuit.simulate(duration=duration, initial_phases=initial_phases)
+    delay = None
+    if reference_port is not None and pulses.get(reference_port):
+        delay_s = propagation_delay(waveforms, cell.input_nodes[reference_port], cell.output_node)
+        delay = delay_s * 1e12 if delay_s is not None else None
+    return CharacterizationResult(
+        cell=cell.description,
+        scenario=scenario,
+        output_pulses=waveforms.num_pulses(cell.output_node),
+        delay_ps=delay,
+        waveforms=waveforms,
+    )
+
+
+def characterize_jtl(num_stages: int = 3) -> CharacterizationResult:
+    """Propagate one pulse down a JTL chain and measure its delay."""
+    cell = jtl_chain(num_stages)
+    return _run(cell, "single pulse", {"a": [50e-12]}, reference_port="a")
+
+
+def characterize_la() -> List[CharacterizationResult]:
+    """Figure 2(i): LA fires only after both inputs have pulsed."""
+    results = []
+    cell = la_cell()
+    results.append(_run(cell, "a only", {"a": [50e-12]}, reference_port="a"))
+    cell = la_cell()
+    results.append(
+        _run(cell, "a then b", {"a": [50e-12], "b": [90e-12]}, reference_port="b")
+    )
+    return results
+
+
+def characterize_fa() -> List[CharacterizationResult]:
+    """Figure 2(ii): FA fires on the first input pulse."""
+    results = []
+    cell = fa_cell()
+    results.append(_run(cell, "a only", {"a": [50e-12]}, reference_port="a"))
+    cell = fa_cell()
+    results.append(
+        _run(cell, "a then b", {"a": [50e-12], "b": [120e-12]}, reference_port="a")
+    )
+    return results
+
+
+def characterize_droc() -> List[CharacterizationResult]:
+    """Figure 3: DROC read-out with and without stored (preloaded) flux."""
+    results = []
+    cell = droc_cell()
+    results.append(_run(cell, "clock without data", {"clk": [80e-12]}, reference_port="clk"))
+    cell = droc_cell()
+    results.append(
+        _run(cell, "data then clock", {"data": [40e-12], "clk": [100e-12]}, reference_port="clk")
+    )
+    return results
+
+
+def characterization_report() -> str:
+    """Text report covering the JTL, LA, FA and DROC characterisation runs."""
+    lines = ["Analog (RCSJ) characterisation", "=" * 34]
+    jtl = characterize_jtl()
+    lines.append(
+        f"JTL chain: {jtl.output_pulses} output pulse(s), delay "
+        f"{jtl.delay_ps:.1f} ps" if jtl.delay_ps is not None else "JTL chain: no propagation"
+    )
+    for result in characterize_la() + characterize_fa() + characterize_droc():
+        delay = f"{result.delay_ps:.1f} ps" if result.delay_ps is not None else "-"
+        lines.append(f"{result.cell:<40} {result.scenario:<18} pulses={result.output_pulses} delay={delay}")
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Reduced analog model of Josephson-junction circuits (RCSJ phase dynamics).
+
+The paper characterises its cells with HSPICE and the MIT-LL SFQ5ee JJ
+models; this module provides the methodological stand-in: a small
+nonlinear-phase-model simulator based on the resistively-and-capacitively
+shunted junction (RCSJ) equation
+
+    C (Phi0/2pi) d2(phi)/dt2 + (1/R) (Phi0/2pi) d(phi)/dt + Ic sin(phi) = I(t)
+
+integrated with SciPy over networks of junctions, inductors and bias current
+sources.  A 2*pi phase slip of a junction corresponds to one SFQ pulse; the
+delay-extraction helpers measure the time between input and output phase
+slips, which is exactly how the paper derives the Table-2 delays from "JJ
+phase rise times".
+
+The goal is demonstrative rather than sign-off accurate: the JTL and
+C-element templates in :mod:`repro.sim.analog.cells` propagate pulses and
+produce delays of the right order of magnitude, and the shipped library
+numbers remain those of the paper's Table 2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.integrate import solve_ivp
+
+#: Magnetic flux quantum (Wb).
+PHI0 = 2.067833848e-15
+#: Reduced flux quantum Phi0 / 2 pi.
+PHI0_BAR = PHI0 / (2.0 * math.pi)
+
+
+@dataclass
+class Junction:
+    """One Josephson junction between ``node`` and ground.
+
+    Attributes:
+        node: Circuit node index the junction is attached to.
+        critical_current: Ic in amperes.
+        capacitance: Shunt capacitance in farads.
+        resistance: Shunt resistance in ohms.
+    """
+
+    node: int
+    critical_current: float = 100e-6
+    capacitance: float = 0.5e-12
+    resistance: float = 2.0
+
+
+@dataclass
+class Inductor:
+    """Inductor between two nodes (node index -1 denotes ground)."""
+
+    node_a: int
+    node_b: int
+    inductance: float = 4e-12
+
+
+@dataclass
+class CurrentSource:
+    """Current injected into a node: constant bias or a time function."""
+
+    node: int
+    amplitude: float = 0.0
+    waveform: Optional[Callable[[float], float]] = None
+
+    def current(self, time: float) -> float:
+        if self.waveform is not None:
+            return self.waveform(time)
+        return self.amplitude
+
+
+def sfq_pulse_train(times: Sequence[float], amplitude: float = 250e-6, width: float = 4e-12) -> Callable[[float], float]:
+    """Gaussian current pulses approximating incoming SFQ pulses."""
+
+    def waveform(t: float) -> float:
+        total = 0.0
+        for center in times:
+            total += amplitude * math.exp(-((t - center) ** 2) / (2.0 * (width / 2.355) ** 2))
+        return total
+
+    return waveform
+
+
+class JjCircuit:
+    """A small JJ circuit solved in the phase domain.
+
+    The state vector holds the phase of the node each junction sits on plus
+    its time derivative; inductors couple node phases, bias sources and
+    input pulse sources inject current.  Every node must carry exactly one
+    junction (the standard situation inside SFQ cells), which keeps the
+    formulation a plain ODE system.
+    """
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.junctions: List[Junction] = []
+        self.inductors: List[Inductor] = []
+        self.sources: List[CurrentSource] = []
+
+    def add_junction(self, junction: Junction) -> Junction:
+        self.junctions.append(junction)
+        return junction
+
+    def add_inductor(self, inductor: Inductor) -> Inductor:
+        self.inductors.append(inductor)
+        return inductor
+
+    def add_source(self, source: CurrentSource) -> CurrentSource:
+        self.sources.append(source)
+        return source
+
+    # ------------------------------------------------------------------
+    def _junction_on_node(self) -> Dict[int, Junction]:
+        by_node: Dict[int, Junction] = {}
+        for junction in self.junctions:
+            if junction.node in by_node:
+                raise ValueError(f"node {junction.node} carries two junctions")
+            by_node[junction.node] = junction
+        if len(by_node) != self.num_nodes:
+            raise ValueError("every node must carry exactly one junction")
+        return by_node
+
+    def simulate(
+        self,
+        duration: float = 200e-12,
+        dt: float = 0.1e-12,
+        initial_phases: Optional[Sequence[float]] = None,
+    ) -> "JjWaveforms":
+        """Integrate the phase dynamics and return node waveforms."""
+        by_node = self._junction_on_node()
+        order = sorted(by_node)
+        index_of = {node: k for k, node in enumerate(order)}
+
+        def phase_of(state: np.ndarray, node: int) -> float:
+            if node < 0:
+                return 0.0
+            return state[index_of[node]]
+
+        def derivatives(t: float, state: np.ndarray) -> np.ndarray:
+            n = len(order)
+            phases = state[:n]
+            velocities = state[n:]
+            currents = np.zeros(n)
+            for source in self.sources:
+                if source.node in index_of:
+                    currents[index_of[source.node]] += source.current(t)
+            for inductor in self.inductors:
+                phase_a = phase_of(state, inductor.node_a)
+                phase_b = phase_of(state, inductor.node_b)
+                branch = PHI0_BAR * (phase_a - phase_b) / inductor.inductance
+                if inductor.node_a in index_of:
+                    currents[index_of[inductor.node_a]] -= branch
+                if inductor.node_b in index_of:
+                    currents[index_of[inductor.node_b]] += branch
+            accelerations = np.zeros(n)
+            for node in order:
+                k = index_of[node]
+                junction = by_node[node]
+                supercurrent = junction.critical_current * math.sin(phases[k])
+                damping = PHI0_BAR * velocities[k] / junction.resistance
+                accelerations[k] = (currents[k] - supercurrent - damping) / (
+                    junction.capacitance * PHI0_BAR
+                )
+            return np.concatenate([velocities, accelerations])
+
+        n = len(order)
+        state0 = np.zeros(2 * n)
+        if initial_phases is not None:
+            state0[:n] = list(initial_phases)[:n]
+        times = np.arange(0.0, duration, dt)
+        solution = solve_ivp(
+            derivatives,
+            (0.0, duration),
+            state0,
+            t_eval=times,
+            method="RK45",
+            max_step=dt * 5,
+            rtol=1e-6,
+            atol=1e-9,
+        )
+        phases = {node: solution.y[index_of[node]] for node in order}
+        return JjWaveforms(times=solution.t, phases=phases)
+
+
+@dataclass
+class JjWaveforms:
+    """Phase waveforms of every junction node."""
+
+    times: np.ndarray
+    phases: Dict[int, np.ndarray]
+
+    def pulse_times(self, node: int, threshold: float = math.pi) -> List[float]:
+        """Times at which the node's phase crosses successive 2*pi slips.
+
+        Each 2*pi phase slip corresponds to one SFQ pulse; the reported time
+        is the crossing of ``2*pi*k + threshold``.
+        """
+        phase = self.phases[node]
+        crossings: List[float] = []
+        level = threshold
+        for k in range(1, len(phase)):
+            while phase[k] >= level > phase[k - 1] - 1e-12:
+                # Linear interpolation of the crossing instant.
+                fraction = (level - phase[k - 1]) / max(phase[k] - phase[k - 1], 1e-18)
+                crossings.append(float(self.times[k - 1] + fraction * (self.times[k] - self.times[k - 1])))
+                level += 2.0 * math.pi
+        return crossings
+
+    def num_pulses(self, node: int) -> int:
+        """Number of SFQ pulses (2*pi slips) observed on the node."""
+        return len(self.pulse_times(node))
+
+    def voltage(self, node: int) -> np.ndarray:
+        """Node voltage waveform V = Phi0_bar * d(phi)/dt (numerical gradient)."""
+        return PHI0_BAR * np.gradient(self.phases[node], self.times)
+
+
+def propagation_delay(
+    waveforms: JjWaveforms, input_node: int, output_node: int, pulse_index: int = 0
+) -> Optional[float]:
+    """Delay between the k-th input pulse and the k-th output pulse (seconds)."""
+    inputs = waveforms.pulse_times(input_node)
+    outputs = waveforms.pulse_times(output_node)
+    if pulse_index >= len(inputs) or pulse_index >= len(outputs):
+        return None
+    return outputs[pulse_index] - inputs[pulse_index]

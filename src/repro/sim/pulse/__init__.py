@@ -1,0 +1,40 @@
+"""Event-driven pulse-transfer-level simulation (the PyLSE role in the paper)."""
+
+from .elements import (
+    DroCell,
+    DrocCell,
+    FaCell,
+    JtlCell,
+    LaCell,
+    MergerCell,
+    PulseElement,
+    SourceCell,
+    SplitterCell,
+)
+from .simulator import PulseSimulator, SimulationError
+from .xsfq_sim import (
+    XsfqSimulationResult,
+    build_simulator,
+    reference_start_state,
+    simulate_combinational,
+    simulate_sequential,
+)
+
+__all__ = [
+    "PulseElement",
+    "LaCell",
+    "FaCell",
+    "SplitterCell",
+    "MergerCell",
+    "JtlCell",
+    "DroCell",
+    "DrocCell",
+    "SourceCell",
+    "PulseSimulator",
+    "SimulationError",
+    "build_simulator",
+    "simulate_combinational",
+    "simulate_sequential",
+    "reference_start_state",
+    "XsfqSimulationResult",
+]

@@ -1,0 +1,180 @@
+"""Behavioural pulse-level models of the xSFQ cells (paper Table 1).
+
+Each element consumes SFQ pulses on its input nets and produces pulses on
+its output nets after a configurable delay.  The models implement exactly
+the state machines of the paper:
+
+* **LA (Last Arrival, Muller C element)** — fires when *both* inputs have
+  received a pulse since the last firing, then returns to its initial state;
+* **FA (First Arrival, inverse C element)** — fires on the *first* input
+  pulse and silently absorbs the second, returning to its initial state;
+* **Splitter / Merger / JTL** — stateless fanout, confluence and repeater;
+* **DRO** — clocked destructive read-out: a data pulse sets the internal
+  flux state, the next clock pulse reads it out (pulse if set, nothing if
+  not) and clears it;
+* **DROC** — DRO with complementary outputs: the clock produces a pulse on
+  ``Qp`` when the state was set and on ``Qn`` otherwise; the preloaded
+  variant starts with its state set (modelling the DC-to-SFQ preload).
+
+The alternating dual-rail protocol guarantees that every LA/FA cell returns
+to its initial state at the end of each logical cycle; the simulator's
+:meth:`PulseElement.is_initial_state` hook lets tests assert exactly that
+(Table 1's property).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+#: (net, time) pair describing an emitted pulse.
+Emission = Tuple[str, float]
+
+
+class PulseElement:
+    """Base class of all pulse-level cell models."""
+
+    def __init__(self, name: str, inputs: Sequence[str], outputs: Sequence[str], delay: float) -> None:
+        self.name = name
+        self.inputs = list(inputs)
+        self.outputs = list(outputs)
+        self.delay = delay
+        self.reset()
+
+    def reset(self) -> None:
+        """Return the element to its power-up state."""
+
+    def is_initial_state(self) -> bool:
+        """True when the element is back in its initial (reset) state."""
+        return True
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        """React to a pulse on input ``port`` at ``time``; return emitted pulses."""
+        raise NotImplementedError
+
+
+class LaCell(PulseElement):
+    """Last Arrival cell (C element): AND of the dual-rail protocol."""
+
+    def reset(self) -> None:
+        self._arrived = [False, False]
+
+    def is_initial_state(self) -> bool:
+        return not any(self._arrived)
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        if self._arrived[port]:
+            # A second pulse on the same input within one phase violates the
+            # protocol; the physical cell would stay put, so we do too.
+            return []
+        self._arrived[port] = True
+        if all(self._arrived):
+            self._arrived = [False, False]
+            return [(self.outputs[0], time + self.delay)]
+        return []
+
+
+class FaCell(PulseElement):
+    """First Arrival cell (inverse C element): OR of the dual-rail protocol."""
+
+    def reset(self) -> None:
+        self._fired = False
+
+    def is_initial_state(self) -> bool:
+        return not self._fired
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        if not self._fired:
+            self._fired = True
+            return [(self.outputs[0], time + self.delay)]
+        self._fired = False
+        return []
+
+
+class SplitterCell(PulseElement):
+    """1:2 pulse splitter."""
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        return [(net, time + self.delay) for net in self.outputs]
+
+
+class MergerCell(PulseElement):
+    """2:1 confluence buffer."""
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        return [(self.outputs[0], time + self.delay)]
+
+
+class JtlCell(PulseElement):
+    """Josephson transmission line segment (pure delay)."""
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        return [(self.outputs[0], time + self.delay)]
+
+
+class DroCell(PulseElement):
+    """Destructive read-out cell.
+
+    Port 0 is data, port 1 is the clock.  Output 0 pulses on a clock edge
+    when the state was set.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[str],
+        outputs: Sequence[str],
+        delay: float,
+        preload: bool = False,
+    ) -> None:
+        self._preload = preload
+        super().__init__(name, inputs, outputs, delay)
+
+    def reset(self) -> None:
+        self.state = bool(self._preload)
+
+    def is_initial_state(self) -> bool:
+        return self.state == bool(self._preload)
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        if port == 0:
+            self.state = True
+            return []
+        had_state = self.state
+        self.state = False
+        if had_state:
+            return [(self.outputs[0], time + self.delay)]
+        return []
+
+
+class DrocCell(DroCell):
+    """DRO with complementary outputs (``Qp``, ``Qn``).
+
+    On a clock pulse the cell emits on ``Qp`` when its state was set and on
+    ``Qn`` otherwise, then clears the state.  The preloaded variant starts
+    set, so its very first clock (the start-up trigger) emits a logical 1 —
+    the initialisation strategy of paper Section 3.2.
+    """
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:
+        if port == 0:
+            self.state = True
+            return []
+        had_state = self.state
+        self.state = False
+        target = self.outputs[0] if had_state else self.outputs[1]
+        return [(target, time + self.delay)]
+
+
+class SourceCell(PulseElement):
+    """Pulse source: emits a pre-programmed pulse train on its output."""
+
+    def __init__(self, name: str, output: str, times: Sequence[float]) -> None:
+        self.times = sorted(times)
+        super().__init__(name, [], [output], 0.0)
+
+    def on_pulse(self, port: int, time: float) -> List[Emission]:  # pragma: no cover
+        return []
+
+    def initial_emissions(self) -> List[Emission]:
+        """Pulses to schedule when the simulation starts."""
+        return [(self.outputs[0], t) for t in self.times]

@@ -1,0 +1,295 @@
+"""Pulse-level simulation of synthesised xSFQ netlists.
+
+This is the functional-verification back end of the flow: the cell netlists
+produced by :mod:`repro.core` are elaborated into pulse elements, their
+primary inputs are driven with the alternating dual-rail encoding of
+Figure 1, DROC ranks are clocked (with the one-shot trigger of Section 3.2)
+and the primary outputs are decoded back into logical values, one per
+logical cycle.  The test-suite compares those decoded values against the
+cycle-accurate :class:`LogicNetwork` simulation of the original design,
+which closes the loop from RTL to pulses — the role PyLSE plays in the
+paper (Figure 7).
+
+Protocol summary (see the paper's Figures 1, 6 and 7):
+
+* every logical cycle spans two synchronous phases, excite then relax;
+* a primary input with value ``v`` pulses its positive rail during the
+  excite phase iff ``v = 1`` and its negative rail otherwise, with the
+  mirrored pattern in the relax phase;
+* sequential designs receive one trigger phase before normal operation —
+  the preloaded DROC rank emits its stored 1s, which primes the downstream
+  LA/FA cells into their excite phase;
+* the architectural state visible in logical cycle 1 is therefore the
+  next-state function evaluated on that all-ones preload pattern, and the
+  design behaves like the original network initialised accordingly from
+  cycle 2 onward (the tests account for this start-up convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ...core.cells import CellKind, XsfqLibrary, default_library
+from ...core.dual_rail import XsfqNetlist
+from ...core.polarity import Rail
+from ...core.sequential import CLOCK_NET, TRIGGER_NET
+from .elements import (
+    DroCell,
+    DrocCell,
+    FaCell,
+    JtlCell,
+    LaCell,
+    MergerCell,
+    PulseElement,
+    SplitterCell,
+)
+from .simulator import PulseSimulator, SimulationError
+
+
+@dataclass
+class XsfqSimulationResult:
+    """Decoded output of a pulse-level run.
+
+    Attributes:
+        outputs: One dictionary per logical cycle mapping PO name to 0/1.
+        trace: Raw pulse times per net.
+        phase_period: Phase length used (ps).
+        all_cells_reinitialised: Whether every LA/FA cell was back in its
+            initial state when the simulation ended (the Table 1 property).
+    """
+
+    outputs: List[Dict[str, int]]
+    trace: Dict[str, List[float]]
+    phase_period: float
+    all_cells_reinitialised: bool
+
+
+def build_simulator(
+    netlist: XsfqNetlist, library: Optional[XsfqLibrary] = None
+) -> Tuple[PulseSimulator, List[str]]:
+    """Elaborate an :class:`XsfqNetlist` into a :class:`PulseSimulator`.
+
+    Returns the simulator and the list of clock input nets of all DROC
+    cells (the preloaded rank listens on the merged clock+trigger net when
+    the netlist carries a trigger merger).
+    """
+    library = library or default_library()
+    simulator = PulseSimulator()
+    droc_clock_nets: List[str] = []
+    preload_clock = f"{CLOCK_NET}_preload" if netlist.trigger_nets else CLOCK_NET
+
+    for cell in netlist.cells:
+        delay = library.delay(cell.kind if not (cell.kind is CellKind.DROC and cell.preload) else CellKind.DROC)
+        if cell.kind is CellKind.LA:
+            simulator.add_element(LaCell(cell.name, cell.inputs, cell.outputs, delay))
+        elif cell.kind is CellKind.FA:
+            simulator.add_element(FaCell(cell.name, cell.inputs, cell.outputs, delay))
+        elif cell.kind is CellKind.SPLITTER:
+            simulator.add_element(SplitterCell(cell.name, cell.inputs, cell.outputs, delay))
+        elif cell.kind is CellKind.MERGER:
+            simulator.add_element(MergerCell(cell.name, cell.inputs, cell.outputs, delay))
+        elif cell.kind is CellKind.JTL:
+            simulator.add_element(JtlCell(cell.name, cell.inputs, cell.outputs, delay))
+        elif cell.kind is CellKind.DRO:
+            clock = preload_clock if cell.preload else CLOCK_NET
+            simulator.add_element(
+                DroCell(cell.name, [cell.inputs[0], clock], cell.outputs, delay, preload=cell.preload)
+            )
+            droc_clock_nets.append(clock)
+        elif cell.kind in (CellKind.DROC, CellKind.DROC_PRELOAD):
+            clock = preload_clock if cell.preload else CLOCK_NET
+            simulator.add_element(
+                DrocCell(cell.name, [cell.inputs[0], clock], cell.outputs, delay, preload=cell.preload)
+            )
+            droc_clock_nets.append(clock)
+        else:
+            raise SimulationError(f"cell kind {cell.kind} is not supported by the pulse simulator")
+    return simulator, droc_clock_nets
+
+
+def _input_rail_nets(pi_name: str) -> Tuple[str, str]:
+    return f"{pi_name}_p", f"{pi_name}_n"
+
+
+def _drive_input(
+    stimulus: Dict[str, List[float]],
+    pi_name: str,
+    value: int,
+    excite_start: float,
+    relax_start: float,
+    offset: float,
+) -> None:
+    pos, neg = _input_rail_nets(pi_name)
+    if value:
+        stimulus.setdefault(pos, []).append(excite_start + offset)
+        stimulus.setdefault(neg, []).append(relax_start + offset)
+    else:
+        stimulus.setdefault(neg, []).append(excite_start + offset)
+        stimulus.setdefault(pos, []).append(relax_start + offset)
+
+
+def _constant_nets(netlist: XsfqNetlist) -> List[str]:
+    """Constant-rail nets referenced by the netlist (``const0_p`` / ``const0_n``)."""
+    referenced = set()
+    for cell in netlist.cells:
+        referenced.update(cell.inputs)
+    referenced.update(port.net for port in netlist.output_ports)
+    return [net for net in ("const0_p", "const0_n") if net in referenced]
+
+
+def _drive_constants(
+    stimulus: Dict[str, List[float]],
+    nets: Sequence[str],
+    excite_start: float,
+    relax_start: float,
+    offset: float,
+) -> None:
+    """Present the constant-0 value: negative rail in excite, positive in relax."""
+    if "const0_n" in nets:
+        stimulus.setdefault("const0_n", []).append(excite_start + offset)
+    if "const0_p" in nets:
+        stimulus.setdefault("const0_p", []).append(relax_start + offset)
+
+
+def _decode_output(
+    trace: Mapping[str, Sequence[float]],
+    net: str,
+    rail: Rail,
+    window_start: float,
+    window_end: float,
+) -> int:
+    pulsed = any(window_start <= t < window_end for t in trace.get(net, []))
+    value = 1 if pulsed else 0
+    return value if rail is Rail.POS else 1 - value
+
+
+def simulate_combinational(
+    netlist: XsfqNetlist,
+    input_vectors: Sequence[Mapping[str, int]],
+    phase_period: float = 500.0,
+    library: Optional[XsfqLibrary] = None,
+) -> XsfqSimulationResult:
+    """Pulse-simulate a clock-free combinational xSFQ netlist.
+
+    Each entry of ``input_vectors`` supplies one logical cycle's primary
+    input values (by original PI name); the result carries one decoded
+    output dictionary per logical cycle.
+    """
+    simulator, droc_clocks = build_simulator(netlist, library)
+    if droc_clocks:
+        raise SimulationError("netlist contains storage cells; use simulate_sequential")
+
+    pi_names = sorted({port.rsplit("_", 1)[0] for port in netlist.input_ports})
+    constant_nets = _constant_nets(netlist)
+    stimulus: Dict[str, List[float]] = {}
+    for cycle, vector in enumerate(input_vectors):
+        excite_start = (2 * cycle) * phase_period
+        relax_start = (2 * cycle + 1) * phase_period
+        for pi in pi_names:
+            value = int(bool(vector.get(pi, 0)))
+            _drive_input(stimulus, pi, value, excite_start, relax_start, offset=1.0)
+        _drive_constants(stimulus, constant_nets, excite_start, relax_start, offset=1.0)
+
+    total_time = 2 * len(input_vectors) * phase_period + phase_period
+    trace = simulator.run(stimulus, until=total_time)
+
+    outputs: List[Dict[str, int]] = []
+    for cycle in range(len(input_vectors)):
+        window_start = (2 * cycle) * phase_period
+        window_end = (2 * cycle + 1) * phase_period
+        decoded = {
+            port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
+            for port in netlist.output_ports
+        }
+        outputs.append(decoded)
+    return XsfqSimulationResult(
+        outputs=outputs,
+        trace=trace,
+        phase_period=phase_period,
+        all_cells_reinitialised=simulator.elements_in_initial_state(),
+    )
+
+
+def simulate_sequential(
+    netlist: XsfqNetlist,
+    input_vectors: Sequence[Mapping[str, int]],
+    phase_period: float = 500.0,
+    library: Optional[XsfqLibrary] = None,
+) -> XsfqSimulationResult:
+    """Pulse-simulate a sequential xSFQ netlist (DROC pairs, trigger, clock).
+
+    The stimulus follows the paper's start-up protocol: one trigger phase
+    (clocking only the preloaded DROC rank), then two clocked phases per
+    logical cycle.  ``input_vectors[k]`` supplies the PI values of logical
+    cycle ``k``; the same values are also presented during the start-up
+    phase pair so the first architectural state is well defined.
+
+    Decoded outputs are reported per logical cycle, starting with cycle 0 =
+    the first excite/relax pair after start-up.
+    """
+    simulator, droc_clocks = build_simulator(netlist, library)
+    if not droc_clocks:
+        raise SimulationError("netlist has no storage cells; use simulate_combinational")
+
+    pi_names = sorted(
+        {
+            port.rsplit("_", 1)[0]
+            for port in netlist.input_ports
+            if port not in netlist.clock_nets and port not in netlist.trigger_nets
+        }
+    )
+
+    stimulus: Dict[str, List[float]] = {}
+    # Start-up: the trigger pulse clocks only the preloaded rank (through the
+    # merged clock+trigger net) during phase 0, emitting the preloaded 1s.
+    trigger_time = 1.0
+    if netlist.trigger_nets:
+        stimulus.setdefault(TRIGGER_NET, []).append(trigger_time)
+    # Regular clock pulses at every subsequent phase boundary.
+    num_phases = 2 * len(input_vectors) + 2
+    for phase in range(1, num_phases + 1):
+        stimulus.setdefault(CLOCK_NET, []).append(phase * phase_period + 1.0)
+
+    # Primary inputs.  Logical cycle c occupies the phase pair
+    # (2c+1, 2c+2): the excite phase starts one phase after the trigger so
+    # the PI rails stay aligned with the state rails emitted by the DROCs.
+    constant_nets = _constant_nets(netlist)
+    for cycle, vector in enumerate(input_vectors):
+        excite_start = (2 * cycle + 1) * phase_period
+        relax_start = (2 * cycle + 2) * phase_period
+        for pi in pi_names:
+            value = int(bool(vector.get(pi, 0)))
+            _drive_input(stimulus, pi, value, excite_start, relax_start, offset=5.0)
+        _drive_constants(stimulus, constant_nets, excite_start, relax_start, offset=5.0)
+
+    total_time = (num_phases + 2) * phase_period
+    trace = simulator.run(stimulus, until=total_time)
+
+    outputs: List[Dict[str, int]] = []
+    for cycle in range(len(input_vectors)):
+        window_start = (2 * cycle + 1) * phase_period
+        window_end = (2 * cycle + 2) * phase_period
+        decoded = {
+            port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
+            for port in netlist.output_ports
+        }
+        outputs.append(decoded)
+    return XsfqSimulationResult(
+        outputs=outputs,
+        trace=trace,
+        phase_period=phase_period,
+        all_cells_reinitialised=simulator.elements_in_initial_state(),
+    )
+
+
+def reference_start_state(latch_names: Sequence[str]) -> Dict[str, int]:
+    """The architectural state the preload/trigger start-up establishes.
+
+    The preloaded DROC rank emits logical 1s during the trigger phase, so
+    the state visible to the first logical cycle is the next-state function
+    evaluated on an all-ones present state (see the module docstring).  The
+    reference :class:`LogicNetwork` simulation therefore starts from the
+    all-ones state when comparing against the pulse-level run.
+    """
+    return {name: 1 for name in latch_names}

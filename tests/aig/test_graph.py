@@ -1,0 +1,152 @@
+"""Unit tests for the AIG data structure and literal encoding."""
+
+import pytest
+
+from repro.aig import (
+    FALSE,
+    TRUE,
+    Aig,
+    AigError,
+    lit_is_complemented,
+    lit_node,
+    lit_not,
+    lit_regular,
+    make_lit,
+)
+
+
+class TestLiterals:
+    def test_encoding_roundtrip(self):
+        lit = make_lit(7, True)
+        assert lit_node(lit) == 7
+        assert lit_is_complemented(lit)
+        assert lit_regular(lit) == make_lit(7, False)
+
+    def test_not_is_involution(self):
+        lit = make_lit(3, False)
+        assert lit_not(lit_not(lit)) == lit
+
+    def test_constants(self):
+        assert lit_node(FALSE) == 0
+        assert TRUE == lit_not(FALSE)
+
+
+class TestStructuralHashing:
+    def test_and_is_hashed(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        assert aig.add_and(a, b) == aig.add_and(b, a)
+        assert aig.num_ands == 1
+
+    def test_trivial_rules(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        assert aig.add_and(a, FALSE) == FALSE
+        assert aig.add_and(a, TRUE) == a
+        assert aig.add_and(a, a) == a
+        assert aig.add_and(a, lit_not(a)) == FALSE
+        assert aig.num_ands == 0
+
+    def test_derived_operators_semantics(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        aig.add_po(aig.add_or(a, b), "or")
+        aig.add_po(aig.add_xor(a, b), "xor")
+        aig.add_po(aig.add_mux(a, b, lit_not(b)), "mux")
+        from repro.aig import exhaustive_truth_tables
+
+        or_tt, xor_tt, mux_tt = exhaustive_truth_tables(aig)
+        assert or_tt == 0b1110
+        assert xor_tt == 0b0110
+        # mux: a ? !b : b == a xor b
+        assert mux_tt == 0b0110
+
+    def test_multi_input_helpers(self):
+        aig = Aig()
+        lits = [aig.add_pi(f"x{i}") for i in range(5)]
+        aig.add_po(aig.add_and_multi(lits), "all")
+        aig.add_po(aig.add_or_multi(lits), "any")
+        from repro.aig import exhaustive_truth_tables
+
+        all_tt, any_tt = exhaustive_truth_tables(aig)
+        assert all_tt == 1 << 31
+        assert any_tt == (1 << 32) - 2
+
+    def test_empty_multi_and_is_true(self):
+        aig = Aig()
+        assert aig.add_and_multi([]) == TRUE
+
+
+class TestLatches:
+    def test_latch_requires_next_state(self):
+        aig = Aig()
+        q = aig.add_latch("q")
+        aig.add_po(q, "out")
+        with pytest.raises(AigError):
+            aig.combinational_roots()
+
+    def test_latch_next_assignment(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        q = aig.add_latch("q", init=1)
+        aig.set_latch_next(q, aig.add_xor(q, a))
+        aig.add_po(q, "out")
+        assert aig.num_latches == 1
+        assert aig.latches[0].init == 1
+        assert len(aig.combinational_roots()) == 2
+
+
+class TestAnalysisAndCleanup:
+    def build(self):
+        aig = Aig("t")
+        a = aig.add_pi("a")
+        b = aig.add_pi("b")
+        c = aig.add_pi("c")
+        ab = aig.add_and(a, b)
+        abc = aig.add_and(ab, c)
+        aig.add_and(a, c)  # dangling
+        aig.add_po(abc, "y")
+        return aig
+
+    def test_levels_and_depth(self):
+        aig = self.build()
+        assert aig.depth() == 2
+
+    def test_fanout_counts(self):
+        aig = self.build()
+        counts = aig.fanout_counts()
+        a_node = lit_node(make_lit(aig.pi_nodes[0]))
+        assert counts[a_node] == 2  # used by ab and the dangling node
+
+    def test_dangling_detection_and_cleanup(self):
+        aig = self.build()
+        assert aig.num_dangling() == 1
+        cleaned = aig.cleanup()
+        assert cleaned.num_dangling() == 0
+        assert cleaned.num_ands == 2
+        assert cleaned.pi_names == aig.pi_names
+        assert cleaned.po_names == aig.po_names
+
+    def test_stats(self):
+        stats = self.build().stats()
+        assert stats["pis"] == 3
+        assert stats["pos"] == 1
+        assert stats["ands"] == 3
+
+    def test_copy_independent(self):
+        aig = self.build()
+        dup = aig.copy()
+        dup.add_pi("extra")
+        assert dup.num_pis == aig.num_pis + 1
+
+    def test_cleanup_preserves_latches(self):
+        aig = Aig()
+        a = aig.add_pi("a")
+        q = aig.add_latch("q")
+        aig.set_latch_next(q, aig.add_and(a, q))
+        aig.add_po(q, "out")
+        cleaned = aig.cleanup()
+        assert cleaned.num_latches == 1
+        assert cleaned.latches[0].name == "q"

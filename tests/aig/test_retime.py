@@ -1,0 +1,101 @@
+"""Tests for pipelining / register placement on AIGs."""
+
+import random
+
+import pytest
+
+from repro.aig import (
+    aig_to_network,
+    cut_signals,
+    insert_pipeline_registers,
+    level_cut,
+    network_to_aig,
+    optimize,
+    stage_assignment,
+    stage_thresholds,
+)
+from repro.aig.retime import pipeline_register_ranks
+from repro.netlist import NetworkBuilder
+
+
+def adder_aig(width=8):
+    b = NetworkBuilder("add")
+    wa = b.word_inputs("a", width)
+    wb = b.word_inputs("b", width)
+    sums, cout = b.ripple_adder(wa, wb)
+    b.word_outputs(sums, "s")
+    b.output(cout, "cout")
+    return optimize(network_to_aig(b.finish()), effort="low")
+
+
+class TestStageMath:
+    def test_thresholds_are_balanced(self):
+        assert stage_thresholds(30, 2) == [10, 20]
+        assert stage_thresholds(10, 0) == []
+
+    def test_stage_assignment_monotone_along_paths(self):
+        aig = adder_aig(6)
+        thresholds = stage_thresholds(aig.depth(), 2)
+        stages = stage_assignment(aig, thresholds)
+        for node in aig.and_nodes():
+            for lit in aig.fanins(node):
+                assert stages[lit >> 1] <= stages[node]
+
+    def test_level_cut_and_cut_signals(self):
+        aig = adder_aig(6)
+        threshold = level_cut(aig, 0.5)
+        crossing = cut_signals(aig, threshold)
+        assert crossing, "a mid-depth cut of an adder must cross some signals"
+        levels = aig.levels()
+        assert all(levels[node] <= threshold for node in crossing)
+
+
+class TestPipelineInsertion:
+    @pytest.mark.parametrize("ranks", [1, 2, 3])
+    def test_latency_matches_rank_count(self, ranks):
+        aig = adder_aig(6)
+        pipelined = insert_pipeline_registers(aig, ranks)
+        assert pipelined.num_latches > 0
+        network = aig_to_network(pipelined)
+        reference = aig_to_network(aig)
+
+        rng = random.Random(ranks)
+        vectors = []
+        for _ in range(5):
+            vectors.append({pi: rng.randint(0, 1) for pi in network.inputs})
+        # Hold the last vector so the pipeline can drain.
+        stimulus = vectors + [vectors[-1]] * ranks
+        trace = network.simulate_sequence(stimulus)
+        for index, vector in enumerate(vectors):
+            expected, _ = reference.evaluate(vector)
+            assert trace[index + ranks] == expected
+
+    def test_zero_ranks_is_identity(self):
+        aig = adder_aig(4)
+        assert insert_pipeline_registers(aig, 0).num_latches == 0
+
+    def test_rejects_sequential_input(self):
+        aig = adder_aig(4)
+        pipelined = insert_pipeline_registers(aig, 1)
+        with pytest.raises(ValueError):
+            insert_pipeline_registers(pipelined, 1)
+
+    def test_depth_reduction(self):
+        aig = adder_aig(8)
+        pipelined = insert_pipeline_registers(aig, 3)
+        assert pipelined.depth() < aig.depth()
+
+    def test_register_ranks_recoverable(self):
+        aig = adder_aig(6)
+        pipelined = insert_pipeline_registers(aig, 2)
+        ranks = pipeline_register_ranks(pipelined)
+        assert set(ranks.values()) <= {1, 2}
+        assert len(ranks) == pipelined.num_latches
+
+    def test_registers_shared_across_consumers(self):
+        # A signal consumed by several later-stage nodes should get one
+        # register chain, not one per consumer: latch count stays bounded by
+        # (#nodes + #PIs) * ranks.
+        aig = adder_aig(6)
+        pipelined = insert_pipeline_registers(aig, 2)
+        assert pipelined.num_latches <= 2 * (aig.num_ands + aig.num_pis)

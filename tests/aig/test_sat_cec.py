@@ -1,0 +1,159 @@
+"""Tests for the CDCL SAT solver and SAT-based equivalence checking."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.aig import Aig, AigError, SatSolver, assert_equivalent, check_equivalence, network_to_aig
+from repro.netlist import NetworkBuilder
+
+
+def brute_force_sat(num_vars, clauses):
+    for assignment in itertools.product([False, True], repeat=num_vars):
+        if all(any((lit > 0) == assignment[abs(lit) - 1] for lit in clause) for clause in clauses):
+            return True
+    return False
+
+
+def random_cnf(rng, num_vars, num_clauses):
+    clauses = []
+    for _ in range(num_clauses):
+        size = rng.randint(1, min(3, num_vars))
+        variables = rng.sample(range(1, num_vars + 1), size)
+        clauses.append([v if rng.random() < 0.5 else -v for v in variables])
+    return clauses
+
+
+class TestSatSolver:
+    def test_simple_sat(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        solver.add_clause([-a])
+        assert solver.solve() is True
+        assert solver.model_value(b) is True
+
+    def test_simple_unsat(self):
+        solver = SatSolver()
+        a = solver.new_var()
+        solver.add_clause([a])
+        solver.add_clause([-a])
+        assert solver.solve() is False
+
+    def test_pigeonhole_3_in_2_is_unsat(self):
+        # 3 pigeons, 2 holes: variables x[p][h]
+        solver = SatSolver()
+        var = [[solver.new_var() for _ in range(2)] for _ in range(3)]
+        for p in range(3):
+            solver.add_clause([var[p][0], var[p][1]])
+        for h in range(2):
+            for p1 in range(3):
+                for p2 in range(p1 + 1, 3):
+                    solver.add_clause([-var[p1][h], -var[p2][h]])
+        assert solver.solve() is False
+
+    def test_assumptions(self):
+        solver = SatSolver()
+        a, b = solver.new_var(), solver.new_var()
+        solver.add_clause([a, b])
+        assert solver.solve(assumptions=[-a, -b]) is False
+        assert solver.solve(assumptions=[-a]) is True
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 100_000))
+    def test_against_brute_force(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(2, 6)
+        clauses = random_cnf(rng, num_vars, rng.randint(2, 14))
+        solver = SatSolver()
+        for _ in range(num_vars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        expected = brute_force_sat(num_vars, clauses)
+        result = solver.solve()
+        assert result is expected
+        if result:
+            # The reported model must satisfy every clause.
+            model = [solver.model_value(v) for v in range(1, num_vars + 1)]
+            assert all(
+                any((lit > 0) == model[abs(lit) - 1] for lit in clause) for clause in clauses
+            )
+
+    def test_rejects_unknown_variable(self):
+        solver = SatSolver()
+        with pytest.raises(ValueError):
+            solver.add_clause([1])
+
+
+def adder_network(width, broken=False):
+    b = NetworkBuilder("add")
+    wa = b.word_inputs("a", width)
+    wb = b.word_inputs("b", width)
+    sums, cout = b.ripple_adder(wa, wb)
+    if broken:
+        sums = list(sums)
+        sums[1] = b.or_(wa[1], wb[1])  # wrong bit
+    b.word_outputs(sums, "s")
+    b.output(cout, "cout")
+    return b.finish()
+
+
+class TestCec:
+    def test_equivalent_designs(self):
+        a = network_to_aig(adder_network(4))
+        b = network_to_aig(adder_network(4))
+        result = check_equivalence(a, b)
+        assert result.equivalent
+
+    def test_inequivalent_designs_found_with_counterexample(self):
+        good = network_to_aig(adder_network(4))
+        bad = network_to_aig(adder_network(4, broken=True))
+        result = check_equivalence(good, bad)
+        assert not result.equivalent
+        assert result.failing_output is not None
+        assert result.counterexample is not None
+        # The counterexample must actually distinguish the designs.
+        net_good = adder_network(4)
+        net_bad = adder_network(4, broken=True)
+        out_good, _ = net_good.evaluate(result.counterexample)
+        out_bad, _ = net_bad.evaluate(result.counterexample)
+        assert out_good != out_bad
+
+    def test_simulation_only_mode(self):
+        a = network_to_aig(adder_network(3))
+        b = network_to_aig(adder_network(3))
+        result = check_equivalence(a, b, use_sat=False)
+        assert result.equivalent
+        assert result.method == "simulation"
+
+    def test_mismatched_interfaces_rejected(self):
+        a = network_to_aig(adder_network(3))
+        b = network_to_aig(adder_network(4))
+        with pytest.raises(AigError):
+            check_equivalence(a, b)
+
+    def test_assert_equivalent_raises_on_difference(self):
+        good = network_to_aig(adder_network(3))
+        bad = network_to_aig(adder_network(3, broken=True))
+        with pytest.raises(AigError):
+            assert_equivalent(good, bad)
+
+    def test_sequential_cec_over_latch_boundary(self):
+        def counter(width, broken=False):
+            b = NetworkBuilder("cnt")
+            en = b.input("en")
+            state = [b.dff(b.const(0), name=f"q{i}") for i in range(width)]
+            carry = en
+            for i in range(width):
+                nxt = b.xor(state[i], carry) if not broken or i != 1 else b.or_(state[i], carry)
+                carry = b.and_(state[i], carry)
+                b.network.gates[f"q{i}"].fanins = [nxt]
+            b.output(state[-1], "msb")
+            return network_to_aig(b.finish())
+
+        assert check_equivalence(counter(3), counter(3)).equivalent
+        assert not check_equivalence(counter(3), counter(3, broken=True)).equivalent

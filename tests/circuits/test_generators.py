@@ -1,0 +1,189 @@
+"""Functional tests for the benchmark circuit generators."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import (
+    CATALOG,
+    alu,
+    array_multiplier,
+    binary_decoder,
+    build,
+    hamming_corrector,
+    info,
+    majority_voter,
+    names,
+    priority_encoder,
+    ripple_carry_adder,
+    round_robin_arbiter,
+    s27_like,
+    sequence_detector,
+    traffic_light_controller,
+)
+
+
+def word_vector(prefix, value, width):
+    return {f"{prefix}[{i}]": (value >> i) & 1 for i in range(width)}
+
+
+def word_value(outputs, prefix, width):
+    return sum(outputs[f"{prefix}[{i}]"] << i for i in range(width))
+
+
+class TestArithmetic:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 63), st.integers(0, 63))
+    def test_multiplier_matches_python(self, a, b):
+        net = array_multiplier(6)
+        vector = {**word_vector("a", a, 6), **word_vector("b", b, 6)}
+        outputs, _ = net.evaluate(vector)
+        assert word_value(outputs, "p", 12) == a * b
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_ripple_carry_adder(self, a, b, cin):
+        net = ripple_carry_adder(8)
+        vector = {**word_vector("a", a, 8), **word_vector("b", b, 8), "cin": cin}
+        outputs, _ = net.evaluate(vector)
+        total = word_value(outputs, "sum", 8) + (outputs["cout"] << 8)
+        assert total == a + b + cin
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 15), st.integers(0, 15), st.integers(0, 7))
+    def test_alu_operations(self, a, b, op):
+        net = alu(4)
+        vector = {**word_vector("a", a, 4), **word_vector("b", b, 4), **word_vector("op", op, 3)}
+        outputs, _ = net.evaluate(vector)
+        result = word_value(outputs, "y", 4)
+        expected = {
+            0: (a + b) & 0xF,
+            1: (a - b) & 0xF,
+            2: a & b,
+            3: a | b,
+            4: a ^ b,
+            5: a,
+            6: (~a) & 0xF,
+            7: (a << 1) & 0xF,
+        }[op]
+        assert result == expected
+        assert outputs["zero"] == int(result == 0)
+        assert outputs["a_eq_b"] == int(a == b)
+        assert outputs["a_gt_b"] == int(a > b)
+
+
+class TestEccAndControl:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**8 - 1), st.integers(-1, 7))
+    def test_hamming_corrects_single_errors(self, data, flip):
+        net = hamming_corrector(8)
+        check_bits = len([i for i in net.inputs if i.startswith("c[")])
+        # Compute the encoder's check bits by evaluating the syndrome at zero
+        # error: use the corrector itself with trial check bits of 0 to read
+        # the syndrome is cumbersome, so recompute in Python.
+        from repro.circuits.ecc import _hamming_parity_positions
+
+        _, positions = _hamming_parity_positions(8)
+        checks = 0
+        for check in range(check_bits):
+            parity = 0
+            for i, pos in enumerate(positions):
+                if pos & (1 << check):
+                    parity ^= (data >> i) & 1
+            checks |= parity << check
+        received = data if flip < 0 else data ^ (1 << flip)
+        vector = {**word_vector("d", received, 8), **word_vector("c", checks, check_bits)}
+        outputs, _ = net.evaluate(vector)
+        assert word_value(outputs, "q", 8) == data
+        assert outputs["error"] == int(flip >= 0)
+
+    def test_binary_decoder_is_one_hot(self):
+        net = binary_decoder(4)
+        for value in range(16):
+            outputs, _ = net.evaluate(word_vector("a", value, 4))
+            ones = [k for k in range(16) if outputs[f"y[{k}]"]]
+            assert ones == [value]
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 2**12 - 1))
+    def test_priority_encoder(self, mask):
+        net = priority_encoder(12)
+        outputs, _ = net.evaluate({f"r[{i}]": (mask >> i) & 1 for i in range(12)})
+        if mask == 0:
+            assert outputs["valid"] == 0
+        else:
+            first = (mask & -mask).bit_length() - 1
+            index = sum(outputs[f"idx[{k}]"] << k for k in range(4))
+            assert outputs["valid"] == 1
+            assert index == first
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 2**9 - 1))
+    def test_majority_voter(self, votes):
+        net = majority_voter(9)
+        outputs, _ = net.evaluate({f"v[{i}]": (votes >> i) & 1 for i in range(9)})
+        assert outputs["majority"] == int(bin(votes).count("1") > 4)
+
+    def test_arbiter_grants_at_most_one(self):
+        net = round_robin_arbiter(8)
+        rng = random.Random(0)
+        for _ in range(20):
+            req = rng.getrandbits(8)
+            ptr = 1 << rng.randrange(8)
+            vector = {f"req[{i}]": (req >> i) & 1 for i in range(8)}
+            vector.update({f"ptr[{i}]": (ptr >> i) & 1 for i in range(8)})
+            outputs, _ = net.evaluate(vector)
+            grants = [i for i in range(8) if outputs[f"grant[{i}]"]]
+            assert len(grants) <= 1
+            if req:
+                assert len(grants) == 1
+                assert (req >> grants[0]) & 1
+            assert outputs["busy"] == int(req != 0)
+
+
+class TestSequentialGenerators:
+    def test_s27_interface(self):
+        net = s27_like()
+        stats = net.stats()
+        assert stats["inputs"] == 4 and stats["outputs"] == 1 and stats["latches"] == 3
+
+    def test_traffic_light_outputs_one_hot(self):
+        net = traffic_light_controller(num_ff=9)
+        rng = random.Random(1)
+        state = {latch.name: latch.init for latch in net.latches}
+        for _ in range(30):
+            vector = {"car": rng.randint(0, 1), "walk": rng.randint(0, 1), "reset": 0}
+            outputs, state = net.evaluate(vector, state)
+            assert sum(outputs[f"light[{k}]"] for k in range(6)) <= 1
+
+    def test_sequence_detector_saturates(self):
+        net = sequence_detector(num_ff=8, num_inputs=3, num_outputs=4)
+        trace = net.simulate_sequence([{"in0": 1, "in1": 0, "in2": 0}] * 20)
+        assert any(t["saturated"] for t in trace) or all("saturated" in t for t in trace)
+
+
+class TestRegistry:
+    def test_catalog_covers_all_suites(self):
+        assert len(names(suite="iscas85")) == 10
+        assert len(names(suite="epfl")) == 11
+        assert len(names(suite="iscas89")) == 16
+
+    @pytest.mark.parametrize("name", sorted(CATALOG))
+    def test_quick_scale_builds_and_validates(self, name):
+        net = build(name, "quick")
+        net.validate()
+        entry = info(name)
+        assert (len(net.latches) > 0) == (entry.kind == "sequential")
+        assert net.name == name
+
+    def test_paper_scale_interfaces_are_larger(self):
+        for name in ("c6288", "priority", "voter"):
+            quick = build(name, "quick")
+            paper = build(name, "paper")
+            assert len(paper.inputs) > len(quick.inputs)
+
+    def test_unknown_circuit_raises(self):
+        with pytest.raises(KeyError):
+            build("c9999")

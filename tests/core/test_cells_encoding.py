@@ -1,0 +1,108 @@
+"""Tests for the xSFQ cell library (Table 2) and the alternating encoding (Figure 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CellKind,
+    PhaseSlot,
+    XsfqLibrary,
+    alternating_property_holds,
+    decode_slot,
+    decode_stream,
+    default_library,
+    encode_bit,
+    encode_stream,
+    format_waveform,
+    rail_pulse_trains,
+    table2_rows,
+)
+from repro.core.cells import DROC_PRELOAD_OVERHEAD_JJ
+
+
+class TestLibrary:
+    def test_table2_jj_counts_without_ptl(self):
+        lib = default_library(False)
+        assert lib.jj_count(CellKind.JTL) == 2
+        assert lib.jj_count(CellKind.LA) == 4
+        assert lib.jj_count(CellKind.FA) == 4
+        assert lib.jj_count(CellKind.SPLITTER) == 3
+        assert lib.jj_count(CellKind.DROC) == 13
+        assert lib.jj_count(CellKind.DROC_PRELOAD) == 22
+
+    def test_table2_jj_counts_with_ptl(self):
+        lib = default_library(True)
+        assert lib.jj_count(CellKind.LA) == 12
+        assert lib.jj_count(CellKind.FA) == 12
+        assert lib.jj_count(CellKind.JTL) == 7
+        assert lib.jj_count(CellKind.DROC) == 27
+        assert lib.jj_count(CellKind.DROC_PRELOAD) == 36
+        # Splitters are abutted (paper footnote 1) so their JJ cost is unchanged.
+        assert lib.jj_count(CellKind.SPLITTER) == 3
+
+    def test_table2_delays(self):
+        lib = default_library(False)
+        assert lib.delay(CellKind.LA) == pytest.approx(7.2)
+        assert lib.delay(CellKind.FA) == pytest.approx(9.5)
+        assert lib.delay(CellKind.SPLITTER) == pytest.approx(5.1)
+        assert default_library(True).delay(CellKind.LA) == pytest.approx(19.9)
+
+    def test_preload_overhead_is_nine_jjs(self):
+        lib = default_library(False)
+        assert lib.jj_count(CellKind.DROC_PRELOAD) - lib.jj_count(CellKind.DROC) == DROC_PRELOAD_OVERHEAD_JJ
+
+    def test_total_jj_accumulates(self):
+        lib = default_library(False)
+        counts = {CellKind.LA: 10, CellKind.FA: 4, CellKind.SPLITTER: 6}
+        assert lib.total_jj(counts) == 10 * 4 + 4 * 4 + 6 * 3
+
+    def test_describe_and_rows(self):
+        text = default_library(False).describe()
+        assert "LA" in text and "FA" in text
+        rows = table2_rows()
+        cells = [r["cell"] for r in rows]
+        assert "JTL" in cells and "DROC (Qp)" in cells and "SPLITTER" in cells
+
+    def test_paper_full_adder_jj_arithmetic(self):
+        """Section 3.1.1: 18 cells + 16 splitters = 120 JJ / 264 JJ."""
+        lib = default_library(False)
+        lib_ptl = default_library(True)
+        assert 18 * lib.jj_count(CellKind.LA) + 16 * lib.jj_count(CellKind.SPLITTER) == 120
+        assert 18 * lib_ptl.jj_count(CellKind.LA) + 16 * lib_ptl.jj_count(CellKind.SPLITTER) == 264
+
+
+class TestEncoding:
+    def test_encode_one_and_zero(self):
+        one = encode_bit(1)
+        zero = encode_bit(0)
+        assert one.excite_p and not one.excite_n and one.relax_n and not one.relax_p
+        assert zero.excite_n and not zero.excite_p and zero.relax_p and not zero.relax_n
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=32))
+    def test_roundtrip(self, bits):
+        assert decode_stream(encode_stream(bits)) == bits
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=16))
+    def test_each_rail_pulses_once_per_logical_cycle(self, bits):
+        positive, negative = rail_pulse_trains(bits)
+        for k in range(len(bits)):
+            assert positive[2 * k] + positive[2 * k + 1] == 1
+            assert negative[2 * k] + negative[2 * k + 1] == 1
+
+    def test_decode_rejects_protocol_violations(self):
+        with pytest.raises(ValueError):
+            decode_slot(PhaseSlot(True, True, False, True))
+        with pytest.raises(ValueError):
+            decode_slot(PhaseSlot(True, False, True, False))
+
+    def test_alternating_property_helper(self):
+        assert alternating_property_holds(encode_stream([1, 0, 1]))
+        assert not alternating_property_holds([PhaseSlot(True, True, False, False)])
+
+    def test_waveform_rendering(self):
+        text = format_waveform([1, 0])
+        assert "rail +" in text and "rail -" in text
+        assert "|" in text and "." in text

@@ -1,0 +1,164 @@
+"""Tests for sequential mapping, pipelining, the full flow and Liberty export."""
+
+import pytest
+
+from repro.aig import check_equivalence, network_to_aig
+from repro.core import (
+    CellKind,
+    FlowOptions,
+    default_library,
+    legacy_dro_flipflop_cost,
+    parse_liberty,
+    pipeline_combinational,
+    synthesize_xsfq,
+    write_liberty,
+)
+from repro.eval import counter_network, full_adder_network
+from repro.circuits import ripple_carry_adder, traffic_light_controller
+
+
+@pytest.fixture(scope="module")
+def counter_result():
+    return synthesize_xsfq(counter_network(3), FlowOptions(effort="medium"))
+
+
+@pytest.fixture(scope="module")
+def counter_result_no_retime():
+    return synthesize_xsfq(counter_network(3), FlowOptions(effort="medium", retime=False))
+
+
+class TestSequentialMapping:
+    def test_every_flipflop_gets_a_preloaded_droc(self, counter_result):
+        plain, preloaded = counter_result.droc_counts
+        assert preloaded == 3  # one per logical flip-flop
+        assert plain >= 1      # the retimed second rank
+
+    def test_without_retiming_drocs_come_in_pairs(self, counter_result_no_retime):
+        plain, preloaded = counter_result_no_retime.droc_counts
+        assert preloaded == 3
+        assert plain == 3
+
+    def test_trigger_infrastructure_present(self, counter_result):
+        netlist = counter_result.netlist
+        assert netlist.clock_nets == ["clk"]
+        assert netlist.trigger_nets == ["trg"]
+        assert netlist.num_cells(CellKind.MERGER) == 1
+
+    def test_netlist_validates(self, counter_result, counter_result_no_retime):
+        counter_result.netlist.validate()
+        counter_result_no_retime.netlist.validate()
+
+    def test_retiming_balances_stage_depths(self, counter_result):
+        info = counter_result.sequential_info
+        assert info is not None and info.cut_level is not None
+        assert len(info.stage_depths) == 2
+        total = sum(info.stage_depths)
+        assert max(info.stage_depths) <= total - min(info.stage_depths) + 1
+
+    def test_clock_frequency_reported(self, counter_result):
+        circuit_ghz, arch_ghz = counter_result.clock_frequencies_ghz()
+        assert circuit_ghz > 0
+        assert arch_ghz == pytest.approx(circuit_ghz / 2)
+
+    def test_sequential_costs_less_than_legacy_dro_quad(self, counter_result):
+        """The DROC-pair flip-flop must beat the original 4-DRO construction."""
+        lib = default_library(False)
+        plain, preloaded = counter_result.droc_counts
+        droc_jj = plain * lib.jj_count(CellKind.DROC) + preloaded * lib.jj_count(CellKind.DROC_PRELOAD)
+        assert droc_jj < legacy_dro_flipflop_cost(3, lib) + 3 * lib.jj_count(CellKind.DROC)
+
+    def test_next_state_logic_preserved(self, counter_result):
+        """The optimised AIG inside the result stays equivalent to the source."""
+        reference = network_to_aig(counter_network(3))
+        assert check_equivalence(reference, counter_result.aig).equivalent
+
+
+class TestPipelining:
+    @pytest.fixture(scope="class")
+    def adder_aig(self):
+        from repro.aig import optimize
+
+        return optimize(network_to_aig(ripple_carry_adder(8)), effort="low")
+
+    def test_ranks_are_twice_the_stages(self, adder_aig):
+        result = pipeline_combinational(adder_aig, stages=2)
+        assert result.ranks == 4
+        assert len(result.drocs_per_rank) == 4
+        assert sum(result.drocs_per_rank) == result.plain + result.preloaded
+
+    def test_first_rank_of_each_pair_is_preloaded(self, adder_aig):
+        result = pipeline_combinational(adder_aig, stages=1)
+        assert result.preloaded == result.drocs_per_rank[0]
+        assert result.plain == result.drocs_per_rank[1]
+
+    def test_zero_stages_has_no_storage(self, adder_aig):
+        result = pipeline_combinational(adder_aig, stages=0)
+        assert result.plain == result.preloaded == 0
+        assert result.netlist.num_drocs == (0, 0)
+
+    def test_pipelining_raises_frequency_and_cuts_depth(self, adder_aig):
+        flat = synthesize_xsfq(ripple_carry_adder(8), FlowOptions(effort="low"))
+        piped = synthesize_xsfq(ripple_carry_adder(8), FlowOptions(effort="low", pipeline_stages=2))
+        assert piped.logic_depth(False) < flat.logic_depth(False)
+        assert piped.clock_frequencies_ghz()[0] > flat.clock_frequencies_ghz()[0]
+        assert piped.jj_count(False) > flat.jj_count(False)
+
+    def test_rejects_sequential_design(self):
+        aig = network_to_aig(counter_network(2))
+        from repro.core import MappingError
+
+        with pytest.raises(MappingError):
+            pipeline_combinational(aig, stages=1)
+
+
+class TestFlow:
+    def test_combinational_breakdown_keys(self):
+        result = synthesize_xsfq(full_adder_network(), FlowOptions(effort="high"))
+        breakdown = result.component_breakdown()
+        for key in ("circuit", "la_fa", "splitters", "duplication", "jj", "depth"):
+            assert key in breakdown
+        assert result.droc_counts == (0, 0)
+
+    def test_flow_accepts_aig_input(self):
+        aig = network_to_aig(full_adder_network())
+        result = synthesize_xsfq(aig, FlowOptions(effort="low"), name="fa_from_aig")
+        assert result.name == "fa_from_aig"
+
+    def test_flow_on_sequential_benchmark(self):
+        result = synthesize_xsfq(traffic_light_controller(num_ff=9), FlowOptions(effort="low"))
+        plain, preloaded = result.droc_counts
+        assert preloaded == 9
+        assert result.jj_count(False) > 0
+        result.netlist.validate()
+
+    def test_effort_none_skips_optimisation(self):
+        aig = network_to_aig(full_adder_network())
+        result = synthesize_xsfq(aig, FlowOptions(effort="none", optimize_polarity=False))
+        assert result.aig.num_ands == aig.cleanup().num_ands
+
+    def test_ptl_mode_costs_more(self):
+        result = synthesize_xsfq(full_adder_network(), FlowOptions(effort="high"))
+        assert result.jj_count(True) > result.jj_count(False)
+
+
+class TestLiberty:
+    def test_roundtrip_contains_all_cells(self):
+        text = write_liberty(default_library(False))
+        cells = parse_liberty(text)
+        for kind in (CellKind.LA, CellKind.FA, CellKind.SPLITTER, CellKind.DROC):
+            assert kind.value in cells
+
+    def test_area_carries_jj_count_and_delays_match(self):
+        lib = default_library(False)
+        cells = parse_liberty(write_liberty(lib))
+        assert cells["LA"].area == lib.jj_count(CellKind.LA)
+        assert any(abs(d - lib.delay(CellKind.LA)) < 1e-6 for d in cells["LA"].delays_ps.values())
+
+    def test_clocked_cells_marked(self):
+        cells = parse_liberty(write_liberty(default_library(False)))
+        assert cells["DROC"].clocked
+        assert not cells["LA"].clocked
+
+    def test_ptl_library_export(self):
+        cells = parse_liberty(write_liberty(default_library(True), name="xsfq_ptl"))
+        assert cells["LA"].area == 12

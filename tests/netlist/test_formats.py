@@ -1,0 +1,156 @@
+"""Tests for the .bench / BLIF / structural-Verilog readers and writers."""
+
+import pytest
+
+from repro.netlist import (
+    GateType,
+    NetworkBuilder,
+    networks_equivalent,
+    parse_bench,
+    parse_blif,
+    parse_verilog,
+    truth_tables,
+    write_bench,
+    write_blif,
+    write_verilog,
+)
+from repro.netlist.bench import BenchParseError
+from repro.netlist.blif import BlifParseError
+from repro.netlist.verilog import VerilogParseError
+
+BENCH_TEXT = """
+# tiny sequential example
+INPUT(G0)
+INPUT(G1)
+OUTPUT(G17)
+G7 = DFF(G10)
+G10 = NAND(G0, G7)
+G17 = NOT(G10)
+"""
+
+
+def small_network():
+    b = NetworkBuilder("roundtrip")
+    x, y, z = b.input("x"), b.input("y"), b.input("z")
+    b.output(b.or_(b.and_(x, y), b.xor(y, z)), "f")
+    b.output(b.nand(x, z), "g")
+    return b.finish()
+
+
+class TestBench:
+    def test_parse_bench_structure(self):
+        net = parse_bench(BENCH_TEXT, name="tiny")
+        assert net.inputs == ["G0", "G1"]
+        assert net.outputs == ["G17"]
+        assert len(net.latches) == 1
+        assert net.gate("G10").gate_type is GateType.NAND
+
+    def test_bench_roundtrip_preserves_function(self):
+        net = small_network()
+        again = parse_bench(write_bench(net), name=net.name)
+        assert networks_equivalent(net, again)
+
+    def test_bench_parse_error_reports_line(self):
+        with pytest.raises(BenchParseError):
+            parse_bench("INPUT(a)\nb = FROB(a)\n")
+
+    def test_bench_unknown_signal(self):
+        from repro.netlist import NetworkError
+
+        with pytest.raises(NetworkError):
+            parse_bench("OUTPUT(y)\ny = AND(a, b)\n")
+
+
+class TestBlif:
+    def test_blif_roundtrip_preserves_function(self):
+        net = small_network()
+        again = parse_blif(write_blif(net))
+        # BLIF lowering introduces helper signals, so compare by truth table
+        # of the named outputs.
+        original = truth_tables(net)
+        recovered = truth_tables(again)
+        assert original == recovered
+
+    def test_parse_simple_cover(self):
+        text = """
+.model cover
+.inputs a b
+.outputs y
+.names a b y
+11 1
+0- 1
+.end
+"""
+        net = parse_blif(text)
+        assert net.output_vector({"a": 1, "b": 1}) == (1,)
+        assert net.output_vector({"a": 0, "b": 0}) == (1,)
+        assert net.output_vector({"a": 1, "b": 0}) == (0,)
+
+    def test_parse_latch_and_constants(self):
+        text = """
+.model seq
+.inputs d
+.outputs q one
+.latch d q re clk 1
+.names one
+1
+.end
+"""
+        net = parse_blif(text)
+        assert len(net.latches) == 1
+        assert net.latches[0].init == 1
+        outputs, _ = net.evaluate({"d": 0})
+        assert outputs["one"] == 1
+
+    def test_blif_error_on_mixed_polarity(self):
+        text = ".model m\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n"
+        with pytest.raises(BlifParseError):
+            parse_blif(text)
+
+
+class TestVerilog:
+    def test_verilog_roundtrip_preserves_function(self):
+        net = small_network()
+        again = parse_verilog(write_verilog(net))
+        assert truth_tables(net) == truth_tables(again)
+
+    def test_parse_gate_primitives(self):
+        text = """
+module m(a, b, y);
+  input a, b;
+  output y;
+  wire w;
+  nand g1 (w, a, b);
+  not g2 (y, w);
+endmodule
+"""
+        net = parse_verilog(text)
+        assert net.output_vector({"a": 1, "b": 1}) == (1,)
+        assert net.output_vector({"a": 0, "b": 1}) == (0,)
+
+    def test_parse_assign_and_constants(self):
+        text = """
+module m(a, y, k);
+  input a;
+  output y, k;
+  assign y = ~a;
+  assign k = 1'b1;
+endmodule
+"""
+        net = parse_verilog(text)
+        outputs, _ = net.evaluate({"a": 1})
+        assert outputs["y"] == 0
+        assert outputs["k"] == 1
+
+    def test_verilog_sequential_roundtrip(self):
+        b = NetworkBuilder("seq")
+        d = b.input("d")
+        q = b.dff(d, name="q")
+        b.output(q, "qo")
+        net = b.finish()
+        again = parse_verilog(write_verilog(net))
+        assert len(again.latches) == 1
+
+    def test_error_on_unknown_statement(self):
+        with pytest.raises(VerilogParseError):
+            parse_verilog("module m(a); input a; always @(posedge clk) q <= a; endmodule")

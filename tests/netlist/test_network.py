@@ -1,0 +1,238 @@
+"""Unit tests for the gate-level network substrate."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netlist import GateType, LogicNetwork, NetworkBuilder, NetworkError
+
+
+def build_and_or():
+    net = LogicNetwork("small")
+    net.add_input("a")
+    net.add_input("b")
+    net.add_input("c")
+    net.add_gate("ab", GateType.AND, ["a", "b"])
+    net.add_gate("y", GateType.OR, ["ab", "c"])
+    net.add_output("y")
+    net.validate()
+    return net
+
+
+class TestConstruction:
+    def test_inputs_and_gates_registered(self):
+        net = build_and_or()
+        assert net.inputs == ["a", "b", "c"]
+        assert net.outputs == ["y"]
+        assert net.num_gates() == 2
+
+    def test_duplicate_signal_rejected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_input("a")
+
+    def test_missing_fanin_detected_by_validate(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("y", GateType.AND, ["a", "ghost"])
+        net.add_output("y")
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_unknown_output_detected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_output("nope")
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_arity_checks(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        with pytest.raises(NetworkError):
+            net.add_gate("y", GateType.NOT, ["a", "a"])
+        with pytest.raises(NetworkError):
+            net.add_gate("z", GateType.MUX, ["a"])
+
+    def test_combinational_cycle_detected(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_gate("x", GateType.AND, ["a", "y"])
+        net.add_gate("y", GateType.AND, ["a", "x"])
+        net.add_output("y")
+        with pytest.raises(NetworkError):
+            net.validate()
+
+    def test_cycle_through_latch_is_legal(self):
+        net = LogicNetwork()
+        net.add_input("en")
+        net.add_latch("q", "nq")
+        net.add_gate("nq", GateType.XOR, ["q", "en"])
+        net.add_output("q")
+        net.validate()
+        assert not net.is_combinational()
+
+
+class TestEvaluation:
+    def test_and_or_truth(self):
+        net = build_and_or()
+        assert net.output_vector({"a": 1, "b": 1, "c": 0}) == (1,)
+        assert net.output_vector({"a": 1, "b": 0, "c": 0}) == (0,)
+        assert net.output_vector({"a": 0, "b": 0, "c": 1}) == (1,)
+
+    def test_all_gate_types(self):
+        net = LogicNetwork()
+        net.add_input("a")
+        net.add_input("b")
+        net.add_input("s")
+        cases = {
+            "g_and": (GateType.AND, ["a", "b"], lambda a, b, s: a & b),
+            "g_nand": (GateType.NAND, ["a", "b"], lambda a, b, s: 1 - (a & b)),
+            "g_or": (GateType.OR, ["a", "b"], lambda a, b, s: a | b),
+            "g_nor": (GateType.NOR, ["a", "b"], lambda a, b, s: 1 - (a | b)),
+            "g_xor": (GateType.XOR, ["a", "b"], lambda a, b, s: a ^ b),
+            "g_xnor": (GateType.XNOR, ["a", "b"], lambda a, b, s: 1 - (a ^ b)),
+            "g_not": (GateType.NOT, ["a"], lambda a, b, s: 1 - a),
+            "g_buf": (GateType.BUF, ["a"], lambda a, b, s: a),
+            "g_mux": (GateType.MUX, ["s", "a", "b"], lambda a, b, s: b if s else a),
+        }
+        for name, (gtype, fanins, _) in cases.items():
+            net.add_gate(name, gtype, fanins)
+            net.add_output(name)
+        net.validate()
+        for a in (0, 1):
+            for b in (0, 1):
+                for s in (0, 1):
+                    outputs, _ = net.evaluate({"a": a, "b": b, "s": s})
+                    for name, (_, _, fn) in cases.items():
+                        assert outputs[name] == fn(a, b, s), name
+
+    def test_missing_input_raises(self):
+        net = build_and_or()
+        with pytest.raises(NetworkError):
+            net.evaluate({"a": 1, "b": 0})
+
+    def test_sequential_counter_behaviour(self):
+        builder = NetworkBuilder("cnt")
+        en = builder.input("en")
+        q0 = builder.dff(builder.const(0), name="q0")
+        q1 = builder.dff(builder.const(0), name="q1")
+        builder.network.gates["q0"].fanins = [builder.xor(q0, en)]
+        builder.network.gates["q1"].fanins = [builder.xor(q1, builder.and_(q0, en))]
+        builder.output(q0, "o0")
+        builder.output(q1, "o1")
+        net = builder.finish()
+        trace = net.simulate_sequence([{"en": 1}] * 5)
+        values = [t["o1"] * 2 + t["o0"] for t in trace]
+        assert values == [0, 1, 2, 3, 0]
+
+    def test_latch_init_value_respected(self):
+        net = LogicNetwork()
+        net.add_input("d")
+        net.add_latch("q", "d", init=1)
+        net.add_output("q")
+        outputs, state = net.evaluate({"d": 0})
+        assert outputs["q"] == 1
+        assert state["q"] == 0
+
+
+class TestAnalysis:
+    def test_topological_order_respects_dependencies(self):
+        net = build_and_or()
+        order = net.topological_order()
+        assert order.index("ab") < order.index("y")
+
+    def test_levels_and_depth(self):
+        net = build_and_or()
+        levels = net.levels()
+        assert levels["a"] == 0
+        assert levels["ab"] == 1
+        assert levels["y"] == 2
+        assert net.depth() == 2
+
+    def test_fanouts(self):
+        net = build_and_or()
+        fanouts = net.fanouts()
+        assert fanouts["a"] == ["ab"]
+        assert fanouts["ab"] == ["y"]
+
+    def test_stats_keys(self):
+        stats = build_and_or().stats()
+        assert stats == {"inputs": 3, "outputs": 1, "gates": 2, "latches": 0, "depth": 2}
+
+    def test_cone_of_influence(self):
+        net = build_and_or()
+        cone = net.cone_of_influence(["ab"])
+        assert cone == {"ab", "a", "b"}
+
+
+class TestTransformations:
+    def test_remove_dangling(self):
+        net = build_and_or()
+        net.add_gate("dead", GateType.AND, ["a", "c"])
+        removed = net.remove_dangling()
+        assert removed == 1
+        assert "dead" not in net
+
+    def test_copy_is_independent(self):
+        net = build_and_or()
+        dup = net.copy()
+        dup.add_gate("extra", GateType.NOT, ["a"])
+        assert "extra" not in net
+
+    def test_rename_signals(self):
+        net = build_and_or()
+        renamed = net.rename_signals({"y": "out"})
+        renamed.validate()
+        assert "out" in renamed
+        assert renamed.outputs == ["out"]
+        assert renamed.output_vector({"a": 1, "b": 1, "c": 0}) == (1,)
+
+
+class TestBuilderWordHelpers:
+    def test_word_inputs_and_outputs(self):
+        builder = NetworkBuilder("w")
+        word = builder.word_inputs("a", 4)
+        builder.word_outputs(word, "y")
+        net = builder.finish()
+        assert len(net.inputs) == 4
+        assert len(net.outputs) == 4
+
+    def test_constants_are_shared(self):
+        builder = NetworkBuilder()
+        assert builder.const(0) == builder.const(0)
+        assert builder.const(1) == builder.const(1)
+        assert builder.const(0) != builder.const(1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 1))
+    def test_ripple_adder_matches_integer_addition(self, a, b, cin):
+        builder = NetworkBuilder("adder")
+        wa = builder.word_inputs("a", 8)
+        wb = builder.word_inputs("b", 8)
+        ci = builder.input("cin")
+        sums, cout = builder.ripple_adder(wa, wb, ci)
+        builder.word_outputs(sums, "s")
+        builder.output(cout, "cout")
+        net = builder.finish()
+        vector = {f"a[{i}]": (a >> i) & 1 for i in range(8)}
+        vector.update({f"b[{i}]": (b >> i) & 1 for i in range(8)})
+        vector["cin"] = cin
+        outputs, _ = net.evaluate(vector)
+        total = sum(outputs[f"s[{i}]"] << i for i in range(8)) + (outputs["cout"] << 8)
+        assert total == a + b + cin
+
+    def test_full_adder_truth(self):
+        builder = NetworkBuilder("fa")
+        a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+        s, cout = builder.full_adder(a, b, c)
+        builder.output(s, "s")
+        builder.output(cout, "co")
+        net = builder.finish()
+        for av in (0, 1):
+            for bv in (0, 1):
+                for cv in (0, 1):
+                    outputs, _ = net.evaluate({"a": av, "b": bv, "c": cv})
+                    assert outputs["s"] == (av + bv + cv) % 2
+                    assert outputs["co"] == int(av + bv + cv >= 2)
