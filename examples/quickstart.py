@@ -8,6 +8,28 @@ The example walks the paper's full-adder story end to end: build the RTL,
 optimise the AIG, map it to LA/FA cells with polarity optimisation, report
 the component breakdown and JJ counts, verify the mapped netlist at the
 pulse level, and compare against a conventional clocked-RSFQ mapping.
+Everything is driven through the top-level :mod:`repro` public API.
+
+Expected output (deterministic; sections abridged)::
+
+    === 1. Alternating dual-rail encoding (Figure 1) ===
+    ...waveform of the bit stream 1,0,1,1,0 on both rails...
+
+    === 2. Synthesise the full adder to xSFQ ===
+    AIG nodes after optimisation : 7 (paper Figure 4: 7)
+    LA/FA cells                  : 10 (paper Figure 5ii: 10)
+    ...
+    JJ count (abutted / PTL)     : 58 / 138 (paper: 58 / 138)
+
+    === 3. Verify the mapped netlist at the pulse level ===
+    pulse-level vs gate-level on all 8 input vectors: MATCH
+    all LA/FA cells re-initialised (Table 1 property): True
+
+    === 4. Compare against a conventional clocked-RSFQ mapping ===
+    ...the PBMap-like baseline needs ~3x the JJs...
+
+    === 5. Export the cell library as Liberty (Section 2.3) ===
+    ...first lines of the Liberty file...
 """
 
 import itertools
@@ -16,15 +38,12 @@ from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.baselines import pbmap_like
-from repro.core import FlowOptions, format_waveform, synthesize_xsfq, write_liberty, default_library
-from repro.netlist import NetworkBuilder
-from repro.sim.pulse import simulate_combinational
+import repro
 
 
 def build_full_adder():
     """The 1-bit full adder used throughout the paper's Section 3.1."""
-    builder = NetworkBuilder("full_adder")
+    builder = repro.NetworkBuilder("full_adder")
     a, b, cin = builder.input("a"), builder.input("b"), builder.input("cin")
     s, cout = builder.full_adder(a, b, cin)
     builder.output(s, "s")
@@ -34,11 +53,11 @@ def build_full_adder():
 
 def main():
     print("=== 1. Alternating dual-rail encoding (Figure 1) ===")
-    print(format_waveform([1, 0, 1, 1, 0]))
+    print(repro.format_waveform([1, 0, 1, 1, 0]))
 
     print("\n=== 2. Synthesise the full adder to xSFQ ===")
     network = build_full_adder()
-    result = synthesize_xsfq(network, FlowOptions(effort="high"))
+    result = repro.synthesize_xsfq(network, repro.FlowOptions(effort="high"))
     breakdown = result.component_breakdown()
     print(f"AIG nodes after optimisation : {result.aig.num_ands} (paper Figure 4: 7)")
     print(f"LA/FA cells                  : {result.num_la_fa} (paper Figure 5ii: 10)")
@@ -51,7 +70,7 @@ def main():
     vectors = [
         {"a": a, "b": b, "cin": c} for a, b, c in itertools.product((0, 1), repeat=3)
     ]
-    sim = simulate_combinational(result.netlist, vectors)
+    sim = repro.simulate_combinational(result.netlist, vectors)
     mismatches = 0
     for vector, outputs in zip(vectors, sim.outputs):
         expected, _ = network.evaluate(vector)
@@ -62,7 +81,7 @@ def main():
     print(f"all LA/FA cells re-initialised (Table 1 property): {sim.all_cells_reinitialised}")
 
     print("\n=== 4. Compare against a conventional clocked-RSFQ mapping ===")
-    baseline = pbmap_like(network)
+    baseline = repro.pbmap_like(network)
     print(f"RSFQ baseline: {baseline.num_logic_cells} clocked gates, "
           f"{baseline.num_balancing_dffs} path-balancing DROs, "
           f"{baseline.num_clock_splitters} clock splitters")
@@ -71,7 +90,7 @@ def main():
     print(f"JJ savings                     : {baseline.jj_count() / result.jj_count(False):.1f}x")
 
     print("\n=== 5. Export the cell library as Liberty (Section 2.3) ===")
-    liberty = write_liberty(default_library(False))
+    liberty = repro.write_liberty(repro.default_library(False))
     print("\n".join(liberty.splitlines()[:8]) + "\n...")
 
 

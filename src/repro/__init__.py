@@ -11,10 +11,81 @@ The package is organised as a synthesis framework:
 * :mod:`repro.baselines` — conventional clocked RSFQ flows (PBMap/qSeq-like);
 * :mod:`repro.sim` — pulse-level and analog (RCSJ) simulators;
 * :mod:`repro.circuits` — benchmark circuit generators;
-* :mod:`repro.eval` — experiment harness reproducing the paper's tables and
-  figures.
+* :mod:`repro.eval` — parallel experiment engine reproducing the paper's
+  tables and figures (also exposed as the ``repro`` command-line tool).
+
+The names most users need are re-exported here::
+
+    import repro
+
+    result = repro.synthesize_xsfq(repro.build_circuit("c880"),
+                                   repro.FlowOptions(effort="high"))
+    report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+from .core import (  # noqa: E402
+    FlowOptions,
+    XsfqLibrary,
+    XsfqNetlist,
+    XsfqSynthesisResult,
+    default_library,
+    format_waveform,
+    synthesize_xsfq,
+    write_liberty,
+)
+from .netlist import NetworkBuilder  # noqa: E402
+from .baselines import pbmap_like, qseq_like  # noqa: E402
+from .circuits import CATALOG, CircuitInfo  # noqa: E402
+from .circuits import build as build_circuit  # noqa: E402
+from .circuits import info as circuit_info  # noqa: E402
+from .circuits import names as circuit_names  # noqa: E402
+from .sim.pulse import simulate_combinational, simulate_sequential  # noqa: E402
+from .eval import (  # noqa: E402
+    EXPERIMENTS,
+    ExperimentResult,
+    ExperimentSpec,
+    ResultCache,
+    Runner,
+    RunReport,
+    SynthesisEngine,
+    SynthesisJob,
+    run_experiment,
+)
+
+__all__ = [
+    "__version__",
+    # Synthesis flow
+    "synthesize_xsfq",
+    "FlowOptions",
+    "XsfqSynthesisResult",
+    "XsfqLibrary",
+    "XsfqNetlist",
+    "default_library",
+    "format_waveform",
+    "write_liberty",
+    # Networks and baselines
+    "NetworkBuilder",
+    "pbmap_like",
+    "qseq_like",
+    # Benchmark circuit registry
+    "CATALOG",
+    "CircuitInfo",
+    "build_circuit",
+    "circuit_info",
+    "circuit_names",
+    # Simulation
+    "simulate_combinational",
+    "simulate_sequential",
+    # Experiment engine
+    "EXPERIMENTS",
+    "ExperimentSpec",
+    "ExperimentResult",
+    "ResultCache",
+    "Runner",
+    "RunReport",
+    "SynthesisEngine",
+    "SynthesisJob",
+    "run_experiment",
+]

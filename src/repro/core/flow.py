@@ -18,8 +18,8 @@ the paper reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
+from dataclasses import dataclass, field, fields
+from typing import Dict, Mapping, Optional, Tuple, Union
 
 from ..aig import Aig, network_to_aig, optimize
 from ..netlist.network import LogicNetwork
@@ -62,6 +62,19 @@ class FlowOptions:
     splitter_style: str = "balanced"
     polarity_sweeps: int = 4
     verify: bool = False
+
+    def to_dict(self) -> Dict[str, object]:
+        """Serialise to a plain dictionary (JSON-safe, stable key order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "FlowOptions":
+        """Rebuild options from :meth:`to_dict` output; unknown keys raise."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown FlowOptions keys: {sorted(unknown)}")
+        return cls(**dict(data))
 
 
 @dataclass
@@ -118,6 +131,34 @@ class XsfqSynthesisResult:
         if self.pipeline_result is not None:
             return pipeline_clock_frequencies(self.pipeline_result, library)
         return clock_frequency_ghz(self.netlist, library)
+
+    def metrics(self) -> Dict[str, object]:
+        """Every paper-style metric as one flat JSON-serialisable dictionary.
+
+        This is the unit stored by the experiment engine's result cache
+        (:mod:`repro.eval.engine`): anything a table or figure assembler
+        needs must be derivable from this dictionary alone, so cached
+        synthesis runs never have to be repeated to re-render a report.
+        """
+        plain, preloaded = self.droc_counts
+        circuit_ghz, arch_ghz = self.clock_frequencies_ghz()
+        return {
+            "circuit": self.name,
+            "la_fa": self.num_la_fa,
+            "splitters": self.num_splitters,
+            "duplication": self.duplication_penalty,
+            "droc_plain": plain,
+            "droc_preloaded": preloaded,
+            "jj": self.jj_count(False),
+            "jj_ptl": self.jj_count(True),
+            "depth": self.logic_depth(False),
+            "depth_with_splitters": self.logic_depth(True),
+            "clock_circuit_ghz": circuit_ghz,
+            "clock_arch_ghz": arch_ghz,
+            "aig_ands": self.aig.num_ands,
+            "source_stats": dict(self.source_stats),
+            "options": self.options.to_dict(),
+        }
 
     def component_breakdown(self, use_ptl: bool = False) -> Dict[str, object]:
         """The paper's per-circuit component breakdown as a dictionary."""

@@ -1,0 +1,220 @@
+"""``repro`` — the operator CLI for reproducing the paper's evaluation.
+
+Three subcommands::
+
+    repro list                 # what can be reproduced, and with what
+    repro run table4 --jobs 4  # reproduce artefacts on a worker pool
+    repro report results/      # re-render previously saved run reports
+
+``repro run`` accepts one or more experiment names (or ``all``), executes
+their synthesis jobs through the parallel runner with the shared
+content-addressed result cache (``--cache-dir`` / ``REPRO_CACHE_DIR``,
+``--no-cache`` to disable), prints the paper-style tables, and with
+``--save DIR`` also emits machine-readable JSON + CSV per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from .engine import ResultCache
+from .runner import (
+    EXPERIMENTS,
+    Runner,
+    RunReport,
+    load_report,
+    render_report,
+    write_csv,
+    write_json,
+)
+
+SCALES = ("quick", "paper")
+EFFORTS = ("none", "low", "medium", "high")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the xSFQ paper's tables and figures.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    list_cmd = sub.add_parser("list", help="list reproducible experiments")
+    list_cmd.add_argument(
+        "--circuits", action="store_true",
+        help="also list the catalogued benchmark circuits",
+    )
+
+    run_cmd = sub.add_parser("run", help="reproduce one or more experiments")
+    run_cmd.add_argument(
+        "experiments", nargs="+", metavar="EXPERIMENT",
+        help=f"experiment name(s) or 'all'; one of: {', '.join(sorted(EXPERIMENTS))}",
+    )
+    run_cmd.add_argument("--scale", choices=SCALES, default="quick",
+                         help="benchmark circuit scale (default: quick)")
+    run_cmd.add_argument("--effort", choices=EFFORTS, default=None,
+                         help="AIG optimisation effort (default: per experiment)")
+    run_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                         help="worker processes for synthesis jobs (default: 1)")
+    run_cmd.add_argument("--circuits", nargs="+", metavar="NAME", default=None,
+                         help="restrict table4/table6 to these circuits")
+    run_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="result cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-xsfq)")
+    run_cmd.add_argument("--no-cache", action="store_true",
+                         help="disable the on-disk result cache")
+    run_cmd.add_argument("--save", default=None, metavar="DIR",
+                         help="also write <experiment>-<scale>.json/.csv into DIR")
+    run_cmd.add_argument("-q", "--quiet", action="store_true",
+                         help="suppress per-job progress lines")
+
+    report_cmd = sub.add_parser(
+        "report", help="re-render saved JSON run reports",
+    )
+    report_cmd.add_argument(
+        "directory", nargs="?", default="results", metavar="DIR",
+        help="directory holding repro-run JSON files (default: results)",
+    )
+    return parser
+
+
+def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
+    return build_parser().parse_args(argv)
+
+
+def _cmd_list(args: argparse.Namespace, out) -> int:
+    out.write("Experiments (repro run <name>):\n")
+    for name in sorted(EXPERIMENTS):
+        spec = EXPERIMENTS[name]
+        num_jobs = len(spec.enumerate_jobs())
+        jobs_note = f"{num_jobs} synthesis jobs" if num_jobs else "no synthesis"
+        out.write(f"  {name:<10} {spec.title}  [{jobs_note}]\n")
+    out.write("  all        every experiment above, in order\n")
+    if args.circuits:
+        from ..circuits import CATALOG
+
+        out.write("\nBenchmark circuits (paper name -> stand-in generator):\n")
+        for name, info in CATALOG.items():
+            out.write(f"  {name:<8} {info.suite:<8} {info.kind:<13} {info.description}\n")
+    return 0
+
+
+def _resolve_experiments(requested: Sequence[str]) -> List[str]:
+    if any(name == "all" for name in requested):
+        return sorted(EXPERIMENTS)
+    unknown = [name for name in requested if name not in EXPERIMENTS]
+    if unknown:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise SystemExit(
+            f"repro: unknown experiment(s): {', '.join(unknown)} (known: {known})"
+        )
+    return list(requested)
+
+
+def _validate_circuits(circuits: Optional[Sequence[str]]) -> None:
+    if not circuits:
+        return
+    from ..circuits import CATALOG
+
+    unknown = [name for name in circuits if name not in CATALOG]
+    if unknown:
+        raise SystemExit(
+            f"repro: unknown circuit(s): {', '.join(unknown)} "
+            "(see: repro list --circuits)"
+        )
+
+
+def _cmd_run(args: argparse.Namespace, out) -> int:
+    names = _resolve_experiments(args.experiments)
+    _validate_circuits(args.circuits)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+
+    failures: List[str] = []
+    for name in names:
+        spec = EXPERIMENTS[name]
+        out.write(f"\n=== {name}: {spec.title} ===\n")
+        report = runner.run(
+            name, scale=args.scale, effort=args.effort, circuits=args.circuits
+        )
+        out.write(report.result.text + "\n")
+        _write_summary(report, out)
+        if args.save:
+            base = Path(args.save) / f"{name}-{report.scale}"
+            json_path = write_json(report, base.with_suffix(".json"))
+            csv_path = write_csv(report, base.with_suffix(".csv"))
+            out.write(f"saved {json_path} and {csv_path}\n")
+        if not all(
+            value for value in report.result.summary.values() if isinstance(value, bool)
+        ):
+            failures.append(name)
+    if cache is not None:
+        stats = cache.stats()
+        out.write(
+            f"\ncache: {stats['hits']} hits, {stats['misses']} misses, "
+            f"{len(cache)} records in {cache.directory}\n"
+        )
+    if failures:
+        out.write(f"FAILED shape checks: {', '.join(failures)}\n")
+        return 1
+    return 0
+
+
+def _write_summary(report: RunReport, out) -> None:
+    summary = report.result.summary
+    if summary:
+        out.write("summary:\n")
+        for key in sorted(summary):
+            value = summary[key]
+            rendered = f"{value:.3f}" if isinstance(value, float) else str(value)
+            out.write(f"  {key}: {rendered}\n")
+    out.write(
+        f"timing: {report.elapsed_s:.2f}s wall "
+        f"({report.cached_jobs}/{report.total_jobs} jobs cached, "
+        f"{report.computed_jobs} synthesised, {report.jobs} workers)\n"
+    )
+
+
+def _cmd_report(args: argparse.Namespace, out) -> int:
+    directory = Path(args.directory)
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        out.write(
+            f"repro: no saved reports in {directory}/ "
+            "(generate some with: repro run <experiment> --save "
+            f"{directory})\n"
+        )
+        return 1
+    for path in paths:
+        try:
+            data = load_report(path)
+        except ValueError:
+            out.write(f"repro: skipping unreadable report {path}\n")
+            continue
+        out.write(f"\n--- {path.name} ---\n")
+        out.write(render_report(data) + "\n")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = parse_args(argv)
+    out = sys.stdout
+    if args.command == "list":
+        return _cmd_list(args, out)
+    if args.command == "run":
+        return _cmd_run(args, out)
+    if args.command == "report":
+        return _cmd_report(args, out)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,296 @@
+"""Synthesis engine: cacheable, schedulable units of experiment work.
+
+Every table and figure of the paper's evaluation decomposes into
+per-circuit synthesis runs.  This module turns one such run into a
+declarative, picklable :class:`SynthesisJob` (circuit name + scale +
+:class:`~repro.core.flow.FlowOptions`), computes it into a flat
+JSON-serialisable *record* of metrics, and memoises records in a
+content-addressed on-disk :class:`ResultCache` keyed on the job payload
+plus the package version.
+
+The :class:`SynthesisEngine` is the seam between the experiment
+assemblers in :mod:`repro.eval.experiments` and the scheduler in
+:mod:`repro.eval.runner`: assemblers ask the engine for records, and the
+runner pre-populates the engine's cache from a multiprocessing pool so
+the assembly step never synthesises anything itself.  A module-level
+default engine lets long-running hosts (the benchmark harness, the CLI)
+install a shared cache once and have every experiment pick it up.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..baselines import pbmap_like, qseq_like
+from ..circuits import build as build_circuit
+from ..circuits import info as circuit_info
+from ..core import FlowOptions, synthesize_xsfq
+
+#: Bumped when the record layout changes incompatibly; part of every cache key.
+RECORD_SCHEMA = 1
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class SynthesisJob:
+    """One unit of schedulable work: synthesise a catalogued circuit.
+
+    Attributes:
+        circuit: Name from :mod:`repro.circuits.registry`.
+        scale: ``"quick"`` or ``"paper"`` circuit dimensions.
+        options: Flow options as a sorted ``(key, value)`` tuple so the
+            job is hashable and picklable across worker processes.
+    """
+
+    circuit: str
+    scale: str = "quick"
+    options: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def create(
+        cls,
+        circuit: str,
+        scale: str = "quick",
+        options: Optional[Mapping[str, object]] = None,
+    ) -> "SynthesisJob":
+        """Build a job from a plain options mapping (or ``FlowOptions``).
+
+        Options are canonicalised through :class:`FlowOptions` so a partial
+        mapping (``{"effort": "low"}``) and the equivalent full option set
+        address the same cache record.
+        """
+        if not isinstance(options, FlowOptions):
+            options = FlowOptions.from_dict(dict(options or {}))
+        items = tuple(sorted(options.to_dict().items()))
+        return cls(circuit=circuit, scale=scale, options=items)
+
+    def flow_options(self) -> FlowOptions:
+        return FlowOptions.from_dict(dict(self.options))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "options": dict(self.options),
+        }
+
+    def key(self) -> str:
+        """Content-addressed cache key: job payload + package version."""
+        payload = {
+            "schema": RECORD_SCHEMA,
+            "version": _package_version(),
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "options": dict(self.options),
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def synthesis_record(job: SynthesisJob) -> Dict[str, object]:
+    """Compute the full metric record for one job (worker-process entry).
+
+    Runs the xSFQ flow on the catalogued circuit and, depending on the
+    circuit kind, the matching clocked-RSFQ baseline (PBMap-like for
+    combinational circuits, qSeq-like for sequential ones), so a single
+    cached record can serve every table that mentions the circuit.
+    Pipelined jobs skip the baseline: no table compares pipelined xSFQ
+    against a clocked flow.
+    """
+    info = circuit_info(job.circuit)
+    options = job.flow_options()
+    network = build_circuit(job.circuit, job.scale)
+    result = synthesize_xsfq(network, options)
+    record = result.metrics()
+    record.update(job.to_dict())
+    record["kind"] = info.kind
+    record["suite"] = info.suite
+    record["num_flipflops"] = len(network.latches)
+    record["baseline_name"] = ""
+    record["baseline_jj"] = None
+    record["baseline_jj_clocked"] = None
+    if options.pipeline_stages == 0:
+        if info.kind == "sequential":
+            baseline = qseq_like(network)
+            record["baseline_name"] = "qSeq-like"
+        else:
+            baseline = pbmap_like(network)
+            record["baseline_name"] = "PBMap-like"
+        record["baseline_jj"] = baseline.jj_count(include_clock_tree=False)
+        record["baseline_jj_clocked"] = baseline.jj_count_with_clock_overhead()
+    return record
+
+
+def timed_synthesis_record(
+    job: SynthesisJob,
+) -> Tuple[SynthesisJob, Dict[str, object], float]:
+    """Worker-pool wrapper: record plus the seconds it took to compute."""
+    start = time.perf_counter()
+    record = synthesis_record(job)
+    return job, record, time.perf_counter() - start
+
+
+class ResultCache:
+    """Content-addressed on-disk store of synthesis records.
+
+    One JSON file per record, named by the job's sha256 key, written
+    atomically so concurrent workers and processes can share a directory.
+    Hit/miss/put counters let the runner report how much re-synthesis a
+    run actually performed.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        if directory is None:
+            directory = os.environ.get("REPRO_CACHE_DIR") or (
+                Path.home() / ".cache" / "repro-xsfq"
+            )
+        self.directory = Path(directory).expanduser()
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def contains(self, job: SynthesisJob) -> bool:
+        return self._path(job.key()).exists()
+
+    def get(self, job: SynthesisJob) -> Optional[Dict[str, object]]:
+        path = self._path(job.key())
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, job: SynthesisJob, record: Mapping[str, object]) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(job.key())
+        fd, tmp_name = tempfile.mkstemp(
+            prefix=path.name, suffix=".tmp", dir=str(self.directory)
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(dict(record), handle, sort_keys=True)
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
+        self.puts += 1
+
+    def clear(self) -> int:
+        """Delete every cached record; returns how many were removed."""
+        removed = 0
+        if self.directory.is_dir():
+            for path in self.directory.glob("*.json"):
+                with contextlib.suppress(OSError):
+                    path.unlink()
+                    removed += 1
+        return removed
+
+    def __len__(self) -> int:
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def stats(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+@dataclass
+class SynthesisEngine:
+    """Serves synthesis records, optionally memoised in a :class:`ResultCache`.
+
+    ``record()`` is the only entry point the experiment assemblers use;
+    with no cache attached it degrades to direct serial computation,
+    which keeps the refactored experiments behaviourally identical to
+    the original inline-synthesis code path.
+    """
+
+    cache: Optional[ResultCache] = None
+    #: Jobs computed by this engine (not served from cache), with timings.
+    computed: List[Tuple[SynthesisJob, float]] = field(default_factory=list)
+    #: When False, repeated requests re-synthesise (for timing studies).
+    memoize: bool = True
+    #: In-process memo so one engine never synthesises the same job twice,
+    #: even with no disk cache attached.
+    memory: Dict[str, Dict[str, object]] = field(default_factory=dict)
+
+    def record(
+        self,
+        circuit: str,
+        scale: str = "quick",
+        options: Optional[Mapping[str, object]] = None,
+    ) -> Dict[str, object]:
+        return self.record_for(SynthesisJob.create(circuit, scale, options))
+
+    def record_for(self, job: SynthesisJob) -> Dict[str, object]:
+        key = job.key()
+        if self.memoize and key in self.memory:
+            return self.memory[key]
+        if self.cache is not None:
+            cached = self.cache.get(job)
+            if cached is not None:
+                self.memory[key] = cached
+                return cached
+        start = time.perf_counter()
+        record = synthesis_record(job)
+        self.computed.append((job, time.perf_counter() - start))
+        self.memory[key] = record
+        if self.cache is not None:
+            self.cache.put(job, record)
+        return record
+
+    def prime(
+        self,
+        job: SynthesisJob,
+        record: Mapping[str, object],
+        persist: bool = True,
+    ) -> None:
+        """Store an externally computed record (used by the parallel runner)."""
+        self.memory[job.key()] = dict(record)
+        if persist and self.cache is not None:
+            self.cache.put(job, record)
+
+
+_DEFAULT_ENGINE = SynthesisEngine()
+
+
+def get_default_engine() -> SynthesisEngine:
+    """The engine experiments use when none is passed explicitly."""
+    return _DEFAULT_ENGINE
+
+
+def set_default_engine(engine: Optional[SynthesisEngine]) -> SynthesisEngine:
+    """Install (or, with ``None``, reset) the process-wide default engine."""
+    global _DEFAULT_ENGINE
+    previous = _DEFAULT_ENGINE
+    _DEFAULT_ENGINE = engine if engine is not None else SynthesisEngine()
+    return previous
+
+
+@contextlib.contextmanager
+def use_engine(engine: SynthesisEngine) -> Iterator[SynthesisEngine]:
+    """Temporarily install ``engine`` as the process-wide default."""
+    previous = set_default_engine(engine)
+    try:
+        yield engine
+    finally:
+        set_default_engine(previous)

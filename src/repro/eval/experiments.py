@@ -1,11 +1,20 @@
 """Experiment runners: one per table / figure of the paper's evaluation.
 
-Every runner synthesises the relevant benchmark circuits with the xSFQ flow
-(and the RSFQ baseline where the paper compares against one), assembles the
-same columns the paper reports and returns an :class:`ExperimentResult`
-whose ``text`` attribute is a ready-to-print table.  The ``scale`` argument
-selects between the reduced "quick" circuit dimensions (default — suitable
-for CI and the shipped benchmark harness) and the "paper"-scale dimensions.
+Every runner assembles the same columns the paper reports and returns an
+:class:`ExperimentResult` whose ``text`` attribute is a ready-to-print
+table.  The ``scale`` argument selects between the reduced "quick" circuit
+dimensions (default — suitable for CI and the shipped benchmark harness)
+and the "paper"-scale dimensions.
+
+Per-circuit synthesis is *not* performed inline: each runner enumerates
+declarative :class:`~repro.eval.engine.SynthesisJob` units (see the
+``*_jobs`` helpers) and asks a :class:`~repro.eval.engine.SynthesisEngine`
+for the corresponding metric records.  The default engine computes
+serially with no disk cache (though it memoises repeated jobs
+in-process; pass ``SynthesisEngine(memoize=False)`` to time every
+synthesis from scratch), while the parallel runner (:mod:`repro.eval.runner`)
+pre-populates a shared content-addressed cache from a worker pool so the
+assembly step here never synthesises anything itself.
 
 The measured numbers are not expected to match the paper's absolute values
 (different benchmark instantiations, different optimiser); the *shape* —
@@ -17,11 +26,9 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..aig import network_to_aig, optimize
-from ..baselines import pbmap_like, qseq_like
-from ..circuits import build as build_circuit
 from ..circuits import names as circuit_names
 from ..core import (
     CircuitReport,
@@ -29,7 +36,6 @@ from ..core import (
     arithmetic_mean,
     combinational_table,
     default_library,
-    duplication_table,
     format_table,
     pipelining_table,
     sequential_table,
@@ -41,6 +47,7 @@ from ..netlist.network import NetworkBuilder
 from ..sim.pulse import simulate_sequential
 from ..sim.pulse.elements import FaCell, LaCell
 from . import paper_data
+from .engine import SynthesisEngine, SynthesisJob, get_default_engine
 
 
 @dataclass
@@ -60,6 +67,31 @@ class ExperimentResult:
     text: str = ""
     summary: Dict[str, object] = field(default_factory=dict)
     scale: str = "quick"
+
+
+def _engine(engine: Optional[SynthesisEngine]) -> SynthesisEngine:
+    return engine if engine is not None else get_default_engine()
+
+
+def _report_from_record(record: Mapping[str, object]) -> CircuitReport:
+    """Rebuild the paper-style :class:`CircuitReport` from a cached record."""
+    return CircuitReport(
+        circuit=record["circuit"],
+        la_fa=record["la_fa"],
+        duplication=record["duplication"],
+        droc_plain=record["droc_plain"],
+        droc_preloaded=record["droc_preloaded"],
+        splitters=record["splitters"],
+        jj=record["jj"],
+        jj_ptl=record["jj_ptl"],
+        baseline_name=record.get("baseline_name", ""),
+        baseline_jj=record.get("baseline_jj"),
+        baseline_jj_clocked=record.get("baseline_jj_clocked"),
+        depth=record["depth"],
+        depth_with_splitters=record["depth_with_splitters"],
+        clock_circuit_ghz=record.get("clock_circuit_ghz", 0.0),
+        clock_arch_ghz=record.get("clock_arch_ghz", 0.0),
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +172,62 @@ def run_table2() -> ExperimentResult:
 
 
 # ---------------------------------------------------------------------------
+# Figures 2 & 3: analog (RCSJ) cell characterisation
+# ---------------------------------------------------------------------------
+
+
+def run_figure2_3() -> ExperimentResult:
+    """Reproduce Figures 2-3: RCSJ phase-model characterisation of the cells.
+
+    Checks the qualitative behaviour the paper's HSPICE plots show: the
+    JTL propagates single pulses, the LA cell is a C element (fires only
+    after both inputs), the FA cell fires on the first arrival and the
+    DROC read-out discriminates stored flux.
+    """
+    from ..sim.analog import (
+        characterize_droc,
+        characterize_fa,
+        characterize_jtl,
+        characterize_la,
+    )
+
+    jtl = characterize_jtl()
+    la_single, la_both = characterize_la()
+    fa_single, fa_both = characterize_fa()
+    droc_empty, droc_loaded = characterize_droc()
+    results = [
+        ("jtl", jtl), ("la_single", la_single), ("la_both", la_both),
+        ("fa_single", fa_single), ("fa_both", fa_both),
+        ("droc_empty", droc_empty), ("droc_loaded", droc_loaded),
+    ]
+    rows = [
+        {
+            "scenario": label,
+            "cell": r.cell,
+            "stimulus": r.scenario,
+            "output_pulses": r.output_pulses,
+            "delay_ps": r.delay_ps,
+        }
+        for label, r in results
+    ]
+    text = format_table(
+        ["Cell", "Stimulus", "Output pulses", "Delay (ps)"],
+        [
+            [r.cell, r.scenario, r.output_pulses,
+             f"{r.delay_ps:.1f}" if r.delay_ps is not None else "-"]
+            for _, r in results
+        ],
+    )
+    summary = {
+        "jtl_propagates": jtl.output_pulses == 1 and bool(jtl.delay_ps),
+        "la_is_c_element": la_single.output_pulses == 0 and la_both.output_pulses >= 1,
+        "fa_fires_first": fa_single.output_pulses >= 1,
+        "droc_discriminates": droc_loaded.output_pulses > droc_empty.output_pulses,
+    }
+    return ExperimentResult("figure2_3", rows, text, summary)
+
+
+# ---------------------------------------------------------------------------
 # Figures 4 & 5: the full-adder walk-through
 # ---------------------------------------------------------------------------
 
@@ -213,20 +301,29 @@ def run_figure4_5() -> ExperimentResult:
 TABLE3_CIRCUITS = ["arbiter", "cavlc", "ctrl", "dec", "i2c", "int2float", "mem_ctrl", "priority", "router", "voter"]
 
 
-def run_table3(scale: str = "quick", effort: str = "medium") -> ExperimentResult:
+def table3_jobs(scale: str = "quick", effort: str = "medium") -> List[SynthesisJob]:
+    options = FlowOptions(effort=effort)
+    return [SynthesisJob.create(name, scale, options) for name in TABLE3_CIRCUITS]
+
+
+def run_table3(
+    scale: str = "quick",
+    effort: str = "medium",
+    engine: Optional[SynthesisEngine] = None,
+) -> ExperimentResult:
     """Reproduce Table 3: duplication penalty after the polarity optimisations."""
+    eng = _engine(engine)
     rows: List[Dict[str, object]] = []
     penalties: Dict[str, float] = {}
-    for name in TABLE3_CIRCUITS:
-        network = build_circuit(name, scale)
-        result = synthesize_xsfq(network, FlowOptions(effort=effort))
-        penalties[name] = result.duplication_penalty
+    for job in table3_jobs(scale, effort):
+        record = eng.record_for(job)
+        penalties[job.circuit] = record["duplication"]
         rows.append(
             {
-                "circuit": name,
-                "duplication": result.duplication_penalty,
-                "paper_duplication": paper_data.TABLE3_DUPLICATION[name],
-                "la_fa": result.num_la_fa,
+                "circuit": job.circuit,
+                "duplication": record["duplication"],
+                "paper_duplication": paper_data.TABLE3_DUPLICATION[job.circuit],
+                "la_fa": record["la_fa"],
             }
         )
     text = format_table(
@@ -248,36 +345,28 @@ def run_table3(scale: str = "quick", effort: str = "medium") -> ExperimentResult
 TABLE4_CIRCUITS = ["c880", "c1908", "c499", "c3540", "c5315", "c7552", "int2float", "dec", "priority", "sin", "cavlc"]
 
 
-def _combinational_report(name: str, scale: str, effort: str) -> CircuitReport:
-    network = build_circuit(name, scale)
-    xsfq = synthesize_xsfq(network, FlowOptions(effort=effort))
-    baseline = pbmap_like(network)
-    plain, preloaded = xsfq.droc_counts
-    return CircuitReport(
-        circuit=name,
-        la_fa=xsfq.num_la_fa,
-        duplication=xsfq.duplication_penalty,
-        droc_plain=plain,
-        droc_preloaded=preloaded,
-        splitters=xsfq.num_splitters,
-        jj=xsfq.jj_count(False),
-        jj_ptl=xsfq.jj_count(True),
-        baseline_name="PBMap-like",
-        baseline_jj=baseline.jj_count(include_clock_tree=False),
-        baseline_jj_clocked=baseline.jj_count_with_clock_overhead(),
-        depth=xsfq.logic_depth(False),
-        depth_with_splitters=xsfq.logic_depth(True),
-    )
+def table4_jobs(
+    scale: str = "quick",
+    effort: str = "medium",
+    circuits: Optional[Sequence[str]] = None,
+) -> List[SynthesisJob]:
+    options = FlowOptions(effort=effort)
+    chosen = list(circuits) if circuits else TABLE4_CIRCUITS
+    return [SynthesisJob.create(name, scale, options) for name in chosen]
 
 
 def run_table4(
     scale: str = "quick",
     effort: str = "medium",
     circuits: Optional[Sequence[str]] = None,
+    engine: Optional[SynthesisEngine] = None,
 ) -> ExperimentResult:
     """Reproduce Table 4: JJ counts and savings for combinational circuits."""
-    chosen = list(circuits) if circuits else TABLE4_CIRCUITS
-    reports = [_combinational_report(name, scale, effort) for name in chosen]
+    eng = _engine(engine)
+    reports = [
+        _report_from_record(eng.record_for(job))
+        for job in table4_jobs(scale, effort, circuits)
+    ]
     rows: List[Dict[str, object]] = []
     for report in reports:
         paper_row = paper_data.TABLE4_ROWS.get(report.circuit)
@@ -314,33 +403,36 @@ def run_table4(
 # ---------------------------------------------------------------------------
 
 
+def table5_jobs(
+    scale: str = "quick",
+    effort: str = "medium",
+    stages: Sequence[int] = (0, 1, 2),
+) -> List[SynthesisJob]:
+    return [
+        SynthesisJob.create(
+            "c6288", scale, FlowOptions(effort=effort, pipeline_stages=num_stages)
+        )
+        for num_stages in stages
+    ]
+
+
 def run_table5(
     scale: str = "quick",
     effort: str = "medium",
     stages: Sequence[int] = (0, 1, 2),
+    engine: Optional[SynthesisEngine] = None,
 ) -> ExperimentResult:
     """Reproduce Table 5: pipelined c6288 (JJ, DROC, depth, clock frequency)."""
-    network = build_circuit("c6288", scale)
+    eng = _engine(engine)
     reports: List[CircuitReport] = []
     rows: List[Dict[str, object]] = []
-    for num_stages in stages:
-        result = synthesize_xsfq(network, FlowOptions(effort=effort, pipeline_stages=num_stages))
-        circuit_ghz, arch_ghz = result.clock_frequencies_ghz()
-        plain, preloaded = result.droc_counts
-        report = CircuitReport(
-            circuit=f"c6288/{num_stages}",
-            la_fa=result.num_la_fa,
-            duplication=result.duplication_penalty,
-            droc_plain=plain,
-            droc_preloaded=preloaded,
-            splitters=result.num_splitters,
-            jj=result.jj_count(False),
-            depth=result.logic_depth(False),
-            depth_with_splitters=result.logic_depth(True),
-            clock_circuit_ghz=circuit_ghz,
-            clock_arch_ghz=arch_ghz,
-            extras={"stages": num_stages, "ranks": 2 * num_stages},
-        )
+    for num_stages, job in zip(stages, table5_jobs(scale, effort, stages)):
+        record = eng.record_for(job)
+        report = _report_from_record(record)
+        report.circuit = f"c6288/{num_stages}"
+        report.baseline_jj = None
+        report.baseline_jj_clocked = None
+        report.extras = {"stages": num_stages, "ranks": 2 * num_stages}
         reports.append(report)
         paper_row = paper_data.TABLE5_ROWS.get(num_stages)
         rows.append(
@@ -349,12 +441,12 @@ def run_table5(
                 "jj": report.jj,
                 "la_fa": report.la_fa,
                 "duplication": report.duplication,
-                "droc_plain": plain,
-                "droc_preloaded": preloaded,
+                "droc_plain": report.droc_plain,
+                "droc_preloaded": report.droc_preloaded,
                 "depth": report.depth,
                 "depth_with_splitters": report.depth_with_splitters,
-                "clock_circuit_ghz": circuit_ghz,
-                "clock_arch_ghz": arch_ghz,
+                "clock_circuit_ghz": report.clock_circuit_ghz,
+                "clock_arch_ghz": report.clock_arch_ghz,
                 "paper_jj": paper_row.jj if paper_row else None,
                 "paper_depth": paper_row.depth if paper_row else None,
             }
@@ -394,49 +486,44 @@ def _jj_growth_sublinear(rows: Sequence[Mapping[str, object]]) -> bool:
 # ---------------------------------------------------------------------------
 
 
+def table6_jobs(
+    scale: str = "quick",
+    effort: str = "medium",
+    circuits: Optional[Sequence[str]] = None,
+) -> List[SynthesisJob]:
+    options = FlowOptions(effort=effort)
+    chosen = list(circuits) if circuits else circuit_names(suite="iscas89")
+    return [SynthesisJob.create(name, scale, options) for name in chosen]
+
+
 def run_table6(
     scale: str = "quick",
     effort: str = "medium",
     circuits: Optional[Sequence[str]] = None,
+    engine: Optional[SynthesisEngine] = None,
 ) -> ExperimentResult:
     """Reproduce Table 6: sequential ISCAS89-class circuits vs qSeq."""
-    chosen = list(circuits) if circuits else circuit_names(suite="iscas89")
+    eng = _engine(engine)
     reports: List[CircuitReport] = []
     rows: List[Dict[str, object]] = []
-    for name in chosen:
-        network = build_circuit(name, scale)
-        xsfq = synthesize_xsfq(network, FlowOptions(effort=effort))
-        baseline = qseq_like(network)
-        plain, preloaded = xsfq.droc_counts
-        report = CircuitReport(
-            circuit=name,
-            la_fa=xsfq.num_la_fa,
-            duplication=xsfq.duplication_penalty,
-            droc_plain=plain,
-            droc_preloaded=preloaded,
-            splitters=xsfq.num_splitters,
-            jj=xsfq.jj_count(False),
-            baseline_name="qSeq-like",
-            baseline_jj=baseline.jj_count(include_clock_tree=False),
-            baseline_jj_clocked=baseline.jj_count_with_clock_overhead(),
-            depth=xsfq.logic_depth(False),
-            depth_with_splitters=xsfq.logic_depth(True),
-        )
+    for job in table6_jobs(scale, effort, circuits):
+        record = eng.record_for(job)
+        report = _report_from_record(record)
         reports.append(report)
-        paper_row = paper_data.TABLE6_ROWS.get(name)
+        paper_row = paper_data.TABLE6_ROWS.get(job.circuit)
         rows.append(
             {
-                "circuit": name,
+                "circuit": job.circuit,
                 "baseline_jj": report.baseline_jj,
                 "la_fa": report.la_fa,
                 "duplication": report.duplication,
-                "droc_plain": plain,
-                "droc_preloaded": preloaded,
+                "droc_plain": report.droc_plain,
+                "droc_preloaded": report.droc_preloaded,
                 "jj": report.jj,
                 "savings": report.jj_savings,
                 "savings_with_clock": report.jj_savings_clocked,
                 "paper_savings": paper_row.savings if paper_row else None,
-                "num_flipflops": len(network.latches),
+                "num_flipflops": record["num_flipflops"],
             }
         )
     text = sequential_table(reports, baseline_label="qSeq-like")
@@ -505,14 +592,125 @@ def run_figure7(num_cycles: int = 6, effort: str = "medium") -> ExperimentResult
 
 
 # ---------------------------------------------------------------------------
+# Ablations: how much each flow ingredient contributes
+# ---------------------------------------------------------------------------
+
+ABLATION_COMBINATIONAL = "c880"
+ABLATION_PTL = "c1908"
+ABLATION_SEQUENTIAL = "s298"
+
+_ABLATION_VARIANTS: List[Tuple[str, Dict[str, object]]] = [
+    ("direct (no AIG opt, dual rail)", {"effort": "none", "direct_mapping": True}),
+    ("AIG opt only (dual rail)", {"direct_mapping": True}),
+    ("+ positive-only outputs", {"optimize_polarity": False}),
+    ("+ output phase assignment", {"optimize_polarity": True}),
+]
+
+
+def ablation_jobs(scale: str = "quick", effort: str = "medium") -> List[SynthesisJob]:
+    jobs: List[SynthesisJob] = []
+    for _, overrides in _ABLATION_VARIANTS:
+        options = dict(overrides)
+        options.setdefault("effort", effort)
+        jobs.append(SynthesisJob.create(ABLATION_COMBINATIONAL, scale, FlowOptions(**options)))
+    jobs.append(SynthesisJob.create(ABLATION_PTL, scale, FlowOptions(effort=effort)))
+    jobs.append(SynthesisJob.create(ABLATION_SEQUENTIAL, scale, FlowOptions(effort=effort, retime=True)))
+    jobs.append(SynthesisJob.create(ABLATION_SEQUENTIAL, scale, FlowOptions(effort=effort, retime=False)))
+    return jobs
+
+
+def run_ablation(
+    scale: str = "quick",
+    effort: str = "medium",
+    engine: Optional[SynthesisEngine] = None,
+) -> ExperimentResult:
+    """Quantify each flow ingredient (AIG opt, polarity, PTL, retiming).
+
+    Mirrors the benchmark harness's ablation study: the Section 3.1
+    optimisation progression on a c880-class ALU, the PTL interconnect
+    cost model on c1908, and DROC retiming on the sequential s298.
+    """
+    eng = _engine(engine)
+    jobs = ablation_jobs(scale, effort)
+    combinational = jobs[: len(_ABLATION_VARIANTS)]
+    ptl_job, retimed_job, paired_job = jobs[len(_ABLATION_VARIANTS):]
+
+    rows: List[Dict[str, object]] = []
+    jj_progression: List[int] = []
+    for (label, _), job in zip(_ABLATION_VARIANTS, combinational):
+        record = eng.record_for(job)
+        jj_progression.append(record["jj"])
+        rows.append(
+            {
+                "study": "polarity",
+                "variant": label,
+                "circuit": job.circuit,
+                "la_fa": record["la_fa"],
+                "jj": record["jj"],
+                "duplication": record["duplication"],
+            }
+        )
+
+    ptl_record = eng.record_for(ptl_job)
+    rows.append(
+        {
+            "study": "interconnect",
+            "variant": "PTL vs abutted",
+            "circuit": ptl_job.circuit,
+            "jj": ptl_record["jj"],
+            "jj_ptl": ptl_record["jj_ptl"],
+        }
+    )
+
+    retimed = eng.record_for(retimed_job)
+    paired = eng.record_for(paired_job)
+    for label, record in (("retimed DROC rank", retimed), ("paired DROC ranks", paired)):
+        rows.append(
+            {
+                "study": "sequential",
+                "variant": label,
+                "circuit": ABLATION_SEQUENTIAL,
+                "jj": record["jj"],
+                "droc_plain": record["droc_plain"],
+                "droc_preloaded": record["droc_preloaded"],
+                "depth": record["depth"],
+            }
+        )
+
+    text = format_table(
+        ["Study", "Variant", "Circuit", "#JJ"],
+        [[r["study"], r["variant"], r["circuit"], r["jj"]] for r in rows],
+    )
+    summary = {
+        "progression_monotonic": all(
+            jj_progression[i + 1] <= jj_progression[i] for i in range(len(jj_progression) - 1)
+        ),
+        "full_flow_beats_direct": jj_progression[-1] < jj_progression[0],
+        "ptl_costs_more": ptl_record["jj_ptl"] > ptl_record["jj"],
+        # Retiming trades a few extra DROCs for a balanced pipeline: the
+        # depth behind the storage ranks shrinks (cf. benchmarks/test_ablations).
+        "retiming_balances_depth": retimed["depth"] <= paired["depth"],
+    }
+    return ExperimentResult("ablation", rows, text, summary, scale)
+
+
+# ---------------------------------------------------------------------------
 # Aggregate: the abstract's headline claim
 # ---------------------------------------------------------------------------
 
 
-def run_headline(scale: str = "quick", effort: str = "low") -> ExperimentResult:
+def headline_jobs(scale: str = "quick", effort: str = "low") -> List[SynthesisJob]:
+    return table4_jobs(scale, effort) + table6_jobs(scale, effort)
+
+
+def run_headline(
+    scale: str = "quick",
+    effort: str = "low",
+    engine: Optional[SynthesisEngine] = None,
+) -> ExperimentResult:
     """Check the abstract's headline: >80% average JJ reduction vs the baseline."""
-    table4 = run_table4(scale=scale, effort=effort)
-    table6 = run_table6(scale=scale, effort=effort)
+    table4 = run_table4(scale=scale, effort=effort, engine=engine)
+    table6 = run_table6(scale=scale, effort=effort, engine=engine)
     savings = [r["savings"] for r in table4.rows + table6.rows if r["savings"]]
     reductions = [1.0 - 1.0 / s for s in savings]
     summary = {

@@ -1,0 +1,414 @@
+"""Parallel experiment orchestration: specs, worker pool, cache, reports.
+
+This is the operator-facing engine behind the ``repro`` CLI.  Every table
+and figure of the paper's evaluation is registered here as a declarative
+:class:`ExperimentSpec`: a name, a human title, the assembler function
+from :mod:`repro.eval.experiments`, and an enumerator of the
+:class:`~repro.eval.engine.SynthesisJob` units the assembler will need.
+
+The :class:`Runner` schedules those jobs across a ``multiprocessing``
+worker pool, memoises every record in a content-addressed
+:class:`~repro.eval.engine.ResultCache`, then hands the pre-populated
+cache to the assembler — so a warm cache reproduces any table with zero
+re-synthesis, and a cold run is limited by the slowest single circuit
+rather than the sum of all of them.  :class:`RunReport` carries the
+assembled :class:`~repro.eval.experiments.ExperimentResult` together
+with per-job timings and cache statistics, and can be emitted as JSON or
+CSV for downstream tooling.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from . import experiments
+from .engine import (
+    ResultCache,
+    SynthesisEngine,
+    SynthesisJob,
+    timed_synthesis_record,
+)
+from .experiments import ExperimentResult
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Declarative description of one schedulable experiment.
+
+    Attributes:
+        name: CLI identifier (``"table4"``, ``"figure7"``, ...).
+        title: Human-readable description of what the paper artefact shows.
+        run: Assembler ``(scale, effort, engine, circuits) -> ExperimentResult``.
+        jobs: Enumerator of the synthesis jobs the assembler will request;
+            ``None`` for experiments with no catalogued-circuit synthesis.
+        default_effort: AIG effort used when the caller does not choose one.
+        supports_circuits: Whether ``run``/``jobs`` accept a circuit subset.
+    """
+
+    name: str
+    title: str
+    run: Callable[..., ExperimentResult]
+    jobs: Optional[Callable[..., List[SynthesisJob]]] = None
+    default_effort: str = "medium"
+    supports_circuits: bool = False
+
+    def enumerate_jobs(
+        self,
+        scale: str = "quick",
+        effort: Optional[str] = None,
+        circuits: Optional[Sequence[str]] = None,
+    ) -> List[SynthesisJob]:
+        if self.jobs is None:
+            return []
+        effort = effort or self.default_effort
+        if self.supports_circuits:
+            return self.jobs(scale, effort, circuits)
+        return self.jobs(scale, effort)
+
+    def assemble(
+        self,
+        scale: str = "quick",
+        effort: Optional[str] = None,
+        engine: Optional[SynthesisEngine] = None,
+        circuits: Optional[Sequence[str]] = None,
+    ) -> ExperimentResult:
+        effort = effort or self.default_effort
+        if self.supports_circuits:
+            return self.run(scale=scale, effort=effort, circuits=circuits, engine=engine)
+        return self.run(scale=scale, effort=effort, engine=engine)
+
+
+def _fixed(fn: Callable[[], ExperimentResult]) -> Callable[..., ExperimentResult]:
+    """Adapt a no-argument experiment to the uniform assembler signature."""
+
+    def run(scale: str = "quick", effort: str = "medium", engine=None, circuits=None):
+        return fn()
+
+    run.__doc__ = fn.__doc__
+    return run
+
+
+def _figure7(scale: str = "quick", effort: str = "medium", engine=None, circuits=None):
+    return experiments.run_figure7(effort=effort)
+
+
+EXPERIMENTS: Dict[str, ExperimentSpec] = {}
+
+
+def _register(spec: ExperimentSpec) -> None:
+    EXPERIMENTS[spec.name] = spec
+
+
+_register(ExperimentSpec(
+    "table1", "LA/FA cell responses to alternating input sequences",
+    _fixed(experiments.run_table1),
+))
+_register(ExperimentSpec(
+    "table2", "The xSFQ cell library (delays and JJ counts, both interconnects)",
+    _fixed(experiments.run_table2),
+))
+_register(ExperimentSpec(
+    "figure1", "Alternating dual-rail encoding of a bit stream",
+    _fixed(experiments.run_figure1),
+))
+_register(ExperimentSpec(
+    "figure2_3", "Analog (RCSJ) characterisation of JTL/LA/FA/DROC cells",
+    _fixed(experiments.run_figure2_3),
+))
+_register(ExperimentSpec(
+    "figure4_5", "Full-adder mapping walk-through (Section 3.1 progression)",
+    _fixed(experiments.run_figure4_5),
+))
+_register(ExperimentSpec(
+    "table3", "Duplication penalty on the EPFL control circuits",
+    experiments.run_table3, experiments.table3_jobs,
+))
+_register(ExperimentSpec(
+    "table4", "Combinational circuits vs the PBMap-like RSFQ baseline",
+    experiments.run_table4, experiments.table4_jobs, supports_circuits=True,
+))
+_register(ExperimentSpec(
+    "table5", "Pipelining study on the c6288-class multiplier",
+    experiments.run_table5, experiments.table5_jobs,
+))
+_register(ExperimentSpec(
+    "table6", "Sequential ISCAS89-class circuits vs the qSeq-like baseline",
+    experiments.run_table6, experiments.table6_jobs, supports_circuits=True,
+))
+_register(ExperimentSpec(
+    "figure7", "Pulse-level simulation of the 2-bit xSFQ counter",
+    _figure7,
+))
+_register(ExperimentSpec(
+    "ablation", "Contribution of each flow ingredient (opt, polarity, PTL, retime)",
+    experiments.run_ablation, experiments.ablation_jobs,
+))
+_register(ExperimentSpec(
+    "headline", "The abstract's claim: >80% average JJ reduction",
+    experiments.run_headline, experiments.headline_jobs,
+    default_effort="low",
+))
+
+
+@dataclass
+class RunReport:
+    """Everything one :meth:`Runner.run` invocation produced.
+
+    Attributes:
+        result: The assembled experiment result.
+        scale: Circuit scale used.
+        effort: AIG effort used.
+        jobs: Worker-pool width.
+        total_jobs: Synthesis jobs the experiment needed.
+        computed_jobs: Jobs actually synthesised this run (cache misses).
+        cached_jobs: Jobs served from the result cache.
+        job_timings: Seconds per computed job, keyed by a job label.
+        elapsed_s: Wall-clock for the whole run (synthesis + assembly).
+    """
+
+    result: ExperimentResult
+    scale: str = "quick"
+    effort: str = "medium"
+    jobs: int = 1
+    total_jobs: int = 0
+    computed_jobs: int = 0
+    cached_jobs: int = 0
+    job_timings: Dict[str, float] = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    @property
+    def experiment(self) -> str:
+        return self.result.experiment
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": self.result.experiment,
+            "scale": self.scale,
+            "effort": self.effort,
+            "jobs": self.jobs,
+            "total_jobs": self.total_jobs,
+            "computed_jobs": self.computed_jobs,
+            "cached_jobs": self.cached_jobs,
+            "job_timings": dict(self.job_timings),
+            "elapsed_s": self.elapsed_s,
+            "rows": self.result.rows,
+            "summary": self.result.summary,
+            "text": self.result.text,
+        }
+
+
+def _job_label(job: SynthesisJob) -> str:
+    tweaks = {
+        key: value
+        for key, value in job.options
+        if value != getattr(experiments.FlowOptions(), key)
+    }
+    suffix = "".join(f" {k}={v}" for k, v in sorted(tweaks.items()))
+    return f"{job.circuit}@{job.scale}{suffix}"
+
+
+class Runner:
+    """Schedules an experiment's synthesis jobs across a worker pool.
+
+    Args:
+        jobs: Worker processes; 1 runs everything in-process.
+        cache: Shared result cache (a fresh default-directory cache when
+            omitted; pass ``cache=None`` explicitly via ``use_cache=False``
+            on the CLI to disable persistence).
+        progress: Callback receiving one line per scheduling event.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressFn] = None,
+    ) -> None:
+        self.jobs = max(1, int(jobs))
+        self.cache = cache
+        self.progress = progress or (lambda line: None)
+
+    def run(
+        self,
+        experiment: str,
+        scale: str = "quick",
+        effort: Optional[str] = None,
+        circuits: Optional[Sequence[str]] = None,
+    ) -> RunReport:
+        """Execute one registered experiment end to end."""
+        spec = EXPERIMENTS.get(experiment)
+        if spec is None:
+            known = ", ".join(sorted(EXPERIMENTS))
+            raise KeyError(f"unknown experiment {experiment!r}; known: {known}")
+        effort = effort or spec.default_effort
+        started = time.perf_counter()
+
+        engine = SynthesisEngine(cache=self.cache)
+        job_list = spec.enumerate_jobs(scale, effort, circuits)
+        timings = self._prefetch(engine, job_list)
+
+        result = spec.assemble(scale, effort, engine, circuits)
+        # Jobs the assembler needed beyond the enumerated set (there should
+        # be none — specs enumerate exactly what their assembler requests).
+        for job, seconds in engine.computed:
+            timings.setdefault(_job_label(job), seconds)
+
+        elapsed = time.perf_counter() - started
+        computed = len(timings)
+        report = RunReport(
+            result=result,
+            scale=scale,
+            effort=effort,
+            jobs=self.jobs,
+            total_jobs=len(job_list),
+            computed_jobs=computed,
+            cached_jobs=max(0, len(job_list) - computed),
+            job_timings=timings,
+            elapsed_s=elapsed,
+        )
+        self.progress(
+            f"[{experiment}] done in {elapsed:.2f}s "
+            f"({report.cached_jobs} cached, {report.computed_jobs} synthesised)"
+        )
+        return report
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _prefetch(
+        self, engine: SynthesisEngine, job_list: Sequence[SynthesisJob]
+    ) -> Dict[str, float]:
+        """Compute every enumerated job missing from the cache."""
+        timings: Dict[str, float] = {}
+        if not job_list:
+            return timings
+        pending: List[SynthesisJob] = []
+        seen = set()
+        for job in job_list:
+            if job in seen:
+                continue
+            seen.add(job)
+            # Read (not just probe) the cache so hit/miss statistics match
+            # the serial path, and so assembly reuses the loaded record.
+            cached = self.cache.get(job) if self.cache is not None else None
+            if cached is not None:
+                engine.prime(job, cached, persist=False)
+                self.progress(f"  cached      {_job_label(job)}")
+            else:
+                pending.append(job)
+        if not pending:
+            return timings
+
+        if self.jobs == 1 or len(pending) == 1:
+            for index, job in enumerate(pending, 1):
+                job, record, seconds = timed_synthesis_record(job)
+                timings[_job_label(job)] = seconds
+                engine.prime(job, record)
+                self.progress(
+                    f"  [{index}/{len(pending)}] synthesised {_job_label(job)} ({seconds:.2f}s)"
+                )
+            return timings
+
+        self.progress(
+            f"  scheduling {len(pending)} synthesis jobs on {self.jobs} workers"
+        )
+        with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
+            for index, (job, record, seconds) in enumerate(
+                pool.imap(timed_synthesis_record, pending), 1
+            ):
+                timings[_job_label(job)] = seconds
+                engine.prime(job, record)
+                self.progress(
+                    f"  [{index}/{len(pending)}] synthesised {_job_label(job)} "
+                    f"({seconds:.2f}s)"
+                )
+        return timings
+
+
+def run_experiment(
+    experiment: str,
+    scale: str = "quick",
+    effort: Optional[str] = None,
+    jobs: int = 1,
+    cache_dir: Optional[str] = None,
+    use_cache: bool = True,
+    circuits: Optional[Sequence[str]] = None,
+    progress: Optional[ProgressFn] = None,
+) -> RunReport:
+    """One-call convenience wrapper around :class:`Runner`.
+
+    ``repro.run_experiment("table4", jobs=4)`` reproduces Table 4 on a
+    4-process pool, reusing (and growing) the on-disk result cache.
+    """
+    cache = ResultCache(cache_dir) if use_cache else None
+    runner = Runner(jobs=jobs, cache=cache, progress=progress)
+    return runner.run(experiment, scale=scale, effort=effort, circuits=circuits)
+
+
+# ---------------------------------------------------------------------------
+# Structured emission
+# ---------------------------------------------------------------------------
+
+
+def write_json(report: RunReport, path: Path) -> Path:
+    """Write the full run report (rows, summary, timings) as JSON."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def _flatten(value: object) -> object:
+    if isinstance(value, (dict, list, tuple)):
+        return json.dumps(value, sort_keys=True, default=str)
+    return value
+
+
+def write_csv(report: RunReport, path: Path) -> Path:
+    """Write the experiment's per-row results as CSV (one row per table row)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    rows = report.result.rows
+    headers: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in headers:
+                headers.append(key)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=headers)
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({key: _flatten(value) for key, value in row.items()})
+    return path
+
+
+def load_report(path: Path) -> Dict[str, object]:
+    """Load a JSON report previously written by :func:`write_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def render_report(data: Mapping[str, object]) -> str:
+    """Render a loaded JSON report back into the CLI's text format."""
+    lines = [
+        f"[{data.get('experiment', '?')}] scale={data.get('scale', '?')} "
+        f"effort={data.get('effort', '?')} elapsed={data.get('elapsed_s', 0.0):.2f}s "
+        f"({data.get('cached_jobs', 0)} cached, {data.get('computed_jobs', 0)} synthesised)",
+        str(data.get("text", "")),
+    ]
+    summary = data.get("summary") or {}
+    if summary:
+        lines.append("summary:")
+        for key in sorted(summary):
+            lines.append(f"  {key}: {summary[key]}")
+    return "\n".join(lines)

@@ -1,0 +1,115 @@
+"""CLI tests: argument parsing and end-to-end subcommand behaviour."""
+
+import pytest
+
+from repro.eval import cli
+
+
+# ---------------------------------------------------------------------------
+# Argument parsing
+# ---------------------------------------------------------------------------
+
+
+def test_parse_run_defaults():
+    args = cli.parse_args(["run", "table4"])
+    assert args.command == "run"
+    assert args.experiments == ["table4"]
+    assert args.scale == "quick" and args.effort is None
+    assert args.jobs == 1 and args.circuits is None
+    assert not args.no_cache and args.save is None and not args.quiet
+
+
+def test_parse_run_all_flags():
+    args = cli.parse_args(
+        [
+            "run", "table4", "table6",
+            "--scale", "paper", "--effort", "high", "-j", "8",
+            "--circuits", "c880", "dec",
+            "--cache-dir", "/tmp/c", "--no-cache", "--save", "out", "-q",
+        ]
+    )
+    assert args.experiments == ["table4", "table6"]
+    assert args.scale == "paper" and args.effort == "high" and args.jobs == 8
+    assert args.circuits == ["c880", "dec"]
+    assert args.cache_dir == "/tmp/c" and args.no_cache
+    assert args.save == "out" and args.quiet
+
+
+def test_parse_rejects_bad_choices():
+    with pytest.raises(SystemExit):
+        cli.parse_args(["run", "table4", "--scale", "huge"])
+    with pytest.raises(SystemExit):
+        cli.parse_args(["run", "table4", "--effort", "extreme"])
+    with pytest.raises(SystemExit):
+        cli.parse_args([])  # a subcommand is required
+
+
+def test_parse_list_and_report():
+    assert cli.parse_args(["list"]).command == "list"
+    assert cli.parse_args(["list", "--circuits"]).circuits is True
+    report = cli.parse_args(["report"])
+    assert report.command == "report" and report.directory == "results"
+    assert cli.parse_args(["report", "out"]).directory == "out"
+
+
+def test_unknown_experiment_exits():
+    with pytest.raises(SystemExit, match="unknown experiment"):
+        cli.main(["run", "table99", "--no-cache"])
+
+
+# ---------------------------------------------------------------------------
+# End-to-end subcommands
+# ---------------------------------------------------------------------------
+
+
+def test_list_shows_every_experiment(capsys):
+    assert cli.main(["list", "--circuits"]) == 0
+    out = capsys.readouterr().out
+    for name in ("table3", "table4", "table5", "table6", "figure7", "headline"):
+        assert name in out
+    assert "c880" in out and "iscas85" in out  # circuit catalogue listed
+
+
+def test_run_figure1_no_synthesis(capsys, tmp_path):
+    rc = cli.main(["run", "figure1", "--no-cache", "-q"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "roundtrip_ok: True" in out
+
+
+def test_run_save_and_report_roundtrip(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    results = tmp_path / "results"
+    rc = cli.main(
+        [
+            "run", "table4", "--circuits", "dec", "--effort", "low",
+            "--jobs", "2", "--cache-dir", str(cache), "--save", str(results), "-q",
+        ]
+    )
+    run_out = capsys.readouterr().out
+    assert rc == 0
+    assert (results / "table4-quick.json").exists()
+    assert (results / "table4-quick.csv").exists()
+    assert "1 records" in run_out  # cache populated
+
+    # Second run is served entirely from the cache.
+    rc = cli.main(
+        [
+            "run", "table4", "--circuits", "dec", "--effort", "low",
+            "--cache-dir", str(cache), "-q",
+        ]
+    )
+    replay_out = capsys.readouterr().out
+    assert rc == 0
+    assert "(1/1 jobs cached, 0 synthesised" in replay_out
+
+    rc = cli.main(["report", str(results)])
+    report_out = capsys.readouterr().out
+    assert rc == 0
+    assert "table4-quick.json" in report_out
+    assert "[table4]" in report_out and "Circuit" in report_out
+
+
+def test_report_empty_directory(capsys, tmp_path):
+    assert cli.main(["report", str(tmp_path)]) == 1
+    assert "no saved reports" in capsys.readouterr().out

@@ -1,0 +1,142 @@
+"""Runner/engine tests: cache behaviour, parallel-serial equality, emission."""
+
+import json
+
+import pytest
+
+from repro.eval import (
+    ResultCache,
+    Runner,
+    SynthesisEngine,
+    SynthesisJob,
+    run_table4,
+)
+from repro.eval.runner import EXPERIMENTS, load_report, write_csv, write_json
+
+# Small, fast circuits: the point of these tests is the engine, not the flow.
+FAST_CIRCUITS = ["ctrl", "int2float"]
+FAST_OPTIONS = {"effort": "none"}
+
+
+def fast_job(circuit="ctrl", scale="quick", **overrides):
+    options = dict(FAST_OPTIONS)
+    options.update(overrides)
+    return SynthesisJob.create(circuit, scale, options)
+
+
+# ---------------------------------------------------------------------------
+# Cache
+# ---------------------------------------------------------------------------
+
+
+def test_cache_miss_then_hit(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = SynthesisEngine(cache=cache)
+    job = fast_job()
+
+    record = engine.record_for(job)
+    assert cache.misses == 1 and cache.puts == 1 and cache.hits == 0
+    assert record["circuit"] == "ctrl" and record["jj"] > 0
+
+    # A second engine on the same directory must hit, not recompute.
+    fresh = SynthesisEngine(cache=ResultCache(tmp_path))
+    replay = fresh.record_for(job)
+    assert fresh.cache.hits == 1 and fresh.cache.misses == 0
+    assert not fresh.computed
+    assert replay == json.loads(json.dumps(record))  # JSON-roundtripped equal
+
+
+def test_cache_key_distinguishes_jobs():
+    from repro import FlowOptions
+
+    base = fast_job()
+    assert base.key() == fast_job().key()
+    # Partial option mappings canonicalise to the same key as FlowOptions.
+    assert base.key() == SynthesisJob.create("ctrl", "quick", FlowOptions(effort="none")).key()
+    assert base.key() != fast_job(scale="paper").key()
+    assert base.key() != fast_job(circuit="int2float").key()
+    assert base.key() != fast_job(effort="low").key()
+    assert base.key() != fast_job(optimize_polarity=False).key()
+
+
+def test_cache_clear_and_len(tmp_path):
+    cache = ResultCache(tmp_path)
+    engine = SynthesisEngine(cache=cache)
+    engine.record_for(fast_job())
+    assert len(cache) == 1 and cache.contains(fast_job())
+    assert cache.clear() == 1
+    assert len(cache) == 0 and not cache.contains(fast_job())
+
+
+def test_engine_memory_avoids_recompute_without_disk_cache():
+    engine = SynthesisEngine()
+    first = engine.record("ctrl", options=FAST_OPTIONS)
+    second = engine.record("ctrl", options=FAST_OPTIONS)
+    assert first is second
+    assert len(engine.computed) == 1
+
+
+# ---------------------------------------------------------------------------
+# Parallel vs serial
+# ---------------------------------------------------------------------------
+
+
+def test_parallel_run_matches_serial_assembly(tmp_path):
+    serial = run_table4(effort="none", circuits=FAST_CIRCUITS, engine=SynthesisEngine())
+
+    runner = Runner(jobs=2, cache=ResultCache(tmp_path / "cache"))
+    report = runner.run("table4", effort="none", circuits=FAST_CIRCUITS)
+
+    assert report.result.rows == serial.rows
+    assert report.result.summary == serial.summary
+    assert report.result.text == serial.text
+    assert report.total_jobs == len(FAST_CIRCUITS)
+    assert report.computed_jobs == len(FAST_CIRCUITS)
+    assert report.cached_jobs == 0
+
+    # Second invocation: everything from cache, zero re-synthesis.
+    replay = Runner(jobs=2, cache=ResultCache(tmp_path / "cache")).run(
+        "table4", effort="none", circuits=FAST_CIRCUITS
+    )
+    assert replay.computed_jobs == 0
+    assert replay.cached_jobs == len(FAST_CIRCUITS)
+    assert replay.result.rows == serial.rows
+    assert replay.result.summary == serial.summary
+
+
+def test_runner_rejects_unknown_experiment():
+    with pytest.raises(KeyError, match="unknown experiment"):
+        Runner().run("table99")
+
+
+def test_every_spec_enumerates_consistently():
+    # Specs must enumerate declaratively (no synthesis) at both scales.
+    for name, spec in EXPERIMENTS.items():
+        jobs = spec.enumerate_jobs("quick")
+        assert isinstance(jobs, list), name
+        for job in jobs:
+            assert isinstance(job, SynthesisJob)
+            # Every enumerated option must round-trip through FlowOptions.
+            job.flow_options()
+
+
+# ---------------------------------------------------------------------------
+# Emission
+# ---------------------------------------------------------------------------
+
+
+def test_json_and_csv_emission(tmp_path):
+    runner = Runner(jobs=1, cache=ResultCache(tmp_path / "cache"))
+    report = runner.run("table4", effort="none", circuits=["ctrl"])
+
+    json_path = write_json(report, tmp_path / "out" / "table4.json")
+    data = load_report(json_path)
+    assert data["experiment"] == "table4"
+    assert data["rows"] == json.loads(json.dumps(report.result.rows))
+    assert data["total_jobs"] == 1
+    assert "text" in data and "summary" in data
+
+    csv_path = write_csv(report, tmp_path / "out" / "table4.csv")
+    lines = csv_path.read_text().strip().splitlines()
+    assert len(lines) == 1 + len(report.result.rows)
+    assert lines[0].startswith("circuit,")
