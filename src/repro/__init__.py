@@ -20,18 +20,34 @@ The names most users need are re-exported here::
 
     result = repro.synthesize_xsfq(repro.build_circuit("c880"),
                                    repro.FlowOptions(effort="high"))
+
+    # ... or compose the staged pipeline directly:
+    flow = repro.Flow.default().with_options("polarity", mode="positive")
+    result = flow.run(repro.build_circuit("c880"))
+
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from .core import (  # noqa: E402
+    Flow,
+    FlowError,
     FlowOptions,
+    FlowState,
+    Stage,
+    STAGES,
+    StageCache,
+    StageEvent,
+    TimingObserver,
     XsfqLibrary,
     XsfqNetlist,
     XsfqSynthesisResult,
     default_library,
     format_waveform,
+    get_stage_cache,
+    register_stage,
+    set_stage_cache,
     synthesize_xsfq,
     write_liberty,
 )
@@ -60,6 +76,18 @@ __all__ = [
     "synthesize_xsfq",
     "FlowOptions",
     "XsfqSynthesisResult",
+    # Staged pass manager
+    "Flow",
+    "FlowError",
+    "FlowState",
+    "Stage",
+    "STAGES",
+    "StageCache",
+    "StageEvent",
+    "TimingObserver",
+    "register_stage",
+    "get_stage_cache",
+    "set_stage_cache",
     "XsfqLibrary",
     "XsfqNetlist",
     "default_library",

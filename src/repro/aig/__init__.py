@@ -24,7 +24,15 @@ from .graph import (
 from .convert import aig_to_network, network_to_aig
 from .balance import balance
 from .rework import refactor, rewrite
-from .scripts import DEFAULT_SCRIPT, OptimizationReport, optimize, optimize_with_report, run_script
+from .scripts import (
+    DEFAULT_SCRIPT,
+    PASSES,
+    OptimizationReport,
+    optimize,
+    optimize_with_report,
+    register_pass,
+    run_script,
+)
 from .simulate import (
     cone_truth_table,
     exhaustive_truth_tables,
@@ -65,6 +73,8 @@ __all__ = [
     "optimize_with_report",
     "run_script",
     "DEFAULT_SCRIPT",
+    "PASSES",
+    "register_pass",
     "OptimizationReport",
     "simulate_patterns",
     "simulate_random",

@@ -24,6 +24,13 @@ from .rework import refactor, rewrite
 PassFn = Callable[[Aig], Aig]
 
 #: Named passes available to :func:`run_script`.
+#:
+#: This registry is unified with the flow-stage registry of
+#: :mod:`repro.core.flowgraph`: every name here is also resolvable as a
+#: :class:`~repro.core.flowgraph.Stage` (applied to ``FlowState.aig``),
+#: so ``Flow.from_script(["frontend", "balance", "rewrite", ...])`` mixes
+#: AIG passes and flow stages freely.  Passes added later through
+#: :func:`register_pass` are picked up by the stage resolver dynamically.
 PASSES: Dict[str, PassFn] = {
     "balance": balance,
     "rewrite": rewrite,
@@ -32,6 +39,21 @@ PASSES: Dict[str, PassFn] = {
     "refactor -z": lambda aig: refactor(aig, zero_gain=True),
     "cleanup": lambda aig: aig.cleanup(),
 }
+
+
+def register_pass(name: str) -> Callable[[PassFn], PassFn]:
+    """Decorator: add a named ``(Aig) -> Aig`` pass to :data:`PASSES`.
+
+    The pass immediately becomes usable in :func:`run_script` scripts and
+    (through the registry bridge) as a stage in
+    :meth:`repro.core.flowgraph.Flow.from_script` compositions.
+    """
+
+    def decorator(fn: PassFn) -> PassFn:
+        PASSES[name] = fn
+        return fn
+
+    return decorator
 
 #: The default area-oriented script (an ABC ``compress2`` analogue).
 DEFAULT_SCRIPT: Sequence[str] = (

@@ -14,14 +14,24 @@ cells, fanout splitters and per-gate clock splitters.  The published JJ
 counts from the paper's Tables 4 and 6 are additionally shipped in
 :mod:`repro.eval.paper_data`, so every experiment can report both the
 rebuilt baseline and the numbers the paper compared against.
+
+Both entry points are themselves compositions of stages registered in
+the shared :data:`repro.core.flowgraph.STAGES` registry (``rsfq-opt``
+followed by ``rsfq-map``), built by :func:`baseline_flow` — the same
+pass-manager machinery as the xSFQ flow, demonstrating that non-xSFQ
+flows plug into the registry too.  The mapped
+:class:`~repro.baselines.path_balance.RsfqMappingResult` travels in
+``FlowState.artifacts["rsfq"]`` because the baseline produces no
+:class:`~repro.core.flow.XsfqSynthesisResult`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Union
+from typing import Mapping, Optional, Union
 
 from ..aig import Aig, aig_to_network, network_to_aig, optimize
+from ..core.flowgraph import Flow, FlowState, register_stage
 from ..netlist.network import LogicNetwork
 from .cells import RsfqLibrary, default_rsfq_library
 from .path_balance import RsfqMappingResult, map_rsfq_path_balanced
@@ -52,6 +62,73 @@ def _as_network(design: Union[LogicNetwork, Aig]) -> LogicNetwork:
     return aig_to_network(design)
 
 
+# ---------------------------------------------------------------------------
+# Baseline stages (registered in the shared stage registry)
+# ---------------------------------------------------------------------------
+
+
+@register_stage(
+    "rsfq-opt",
+    defaults={"enabled": False, "effort": "low"},
+    description="Optional shared AIG optimisation before the clocked-RSFQ mapping",
+)
+def _stage_rsfq_opt(state: FlowState, options: Mapping[str, object]) -> FlowState:
+    if not options["enabled"]:
+        return state
+    network = state.network if state.network is not None else aig_to_network(state.aig)
+    state = state.copy()
+    # Round-trip through the optimiser; the un-optimised path maps the
+    # original gate-level network untouched (no AIG decomposition).
+    state.network = aig_to_network(
+        optimize(network_to_aig(network), effort=str(options["effort"]))
+    )
+    return state
+
+
+@register_stage(
+    "rsfq-map",
+    defaults={"include_io_balancing": True, "count_clock_tree": True},
+    description="Path-balanced clocked RSFQ mapping (PBMap/qSeq cost structure)",
+)
+def _stage_rsfq_map(state: FlowState, options: Mapping[str, object]) -> FlowState:
+    network = state.network if state.network is not None else aig_to_network(state.aig)
+    state = state.copy()
+    state.artifacts["rsfq"] = map_rsfq_path_balanced(
+        network,
+        include_io_balancing=bool(options["include_io_balancing"]),
+        count_clock_tree=bool(options["count_clock_tree"]),
+        name=state.name or network.name,
+    )
+    return state
+
+
+def baseline_flow(options: Optional[BaselineOptions] = None) -> Flow:
+    """The staged composition behind :func:`pbmap_like` / :func:`qseq_like`."""
+    options = options or BaselineOptions()
+    return Flow.from_script(
+        [
+            ("rsfq-opt", {"enabled": options.optimize_logic, "effort": options.effort}),
+            (
+                "rsfq-map",
+                {
+                    "include_io_balancing": options.include_io_balancing,
+                    "count_clock_tree": options.count_clock_tree,
+                },
+            ),
+        ]
+    )
+
+
+def _run_baseline(
+    design: Union[LogicNetwork, Aig],
+    options: Optional[BaselineOptions],
+    name: Optional[str],
+) -> RsfqMappingResult:
+    network = _as_network(design)
+    state = baseline_flow(options).run_state(network, name=name or network.name)
+    return state.artifacts["rsfq"]
+
+
 def pbmap_like(
     design: Union[LogicNetwork, Aig],
     options: Optional[BaselineOptions] = None,
@@ -63,18 +140,10 @@ def pbmap_like(
     a clocked RSFQ cell, reconvergent paths are balanced with DRO cells and
     every cell's clock arrives through a splitter tree.
     """
-    options = options or BaselineOptions()
     network = _as_network(design)
     if not network.is_combinational():
         raise ValueError("pbmap_like expects a combinational design; use qseq_like")
-    if options.optimize_logic:
-        network = aig_to_network(optimize(network_to_aig(network), effort=options.effort))
-    return map_rsfq_path_balanced(
-        network,
-        include_io_balancing=options.include_io_balancing,
-        count_clock_tree=options.count_clock_tree,
-        name=name or network.name,
-    )
+    return _run_baseline(network, options, name)
 
 
 def qseq_like(
@@ -88,16 +157,7 @@ def qseq_like(
     flip-flop boundaries is mapped and path-balanced exactly as in
     :func:`pbmap_like`.
     """
-    options = options or BaselineOptions()
-    network = _as_network(design)
-    if options.optimize_logic:
-        network = aig_to_network(optimize(network_to_aig(network), effort=options.effort))
-    return map_rsfq_path_balanced(
-        network,
-        include_io_balancing=options.include_io_balancing,
-        count_clock_tree=options.count_clock_tree,
-        name=name or network.name,
-    )
+    return _run_baseline(_as_network(design), options, name)
 
 
 def rsfq_clock_period_ps(

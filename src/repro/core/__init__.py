@@ -2,7 +2,9 @@
 
 Public API highlights:
 
-* :func:`repro.core.flow.synthesize_xsfq` — the end-to-end flow
+* :class:`repro.core.flowgraph.Flow` — the composable staged pipeline
+  (registered stages, observers, stage-level caching) behind the
+  backwards-compatible :func:`repro.core.flow.synthesize_xsfq` shim
   (network/AIG in, mapped xSFQ netlist + component breakdown out);
 * :class:`repro.core.cells.XsfqLibrary` — the standard-cell library of
   Table 2 (with/without PTL interfaces);
@@ -58,6 +60,22 @@ from .sequential import (
 )
 from .pipeline import PipelineResult, pipeline_clock_frequencies, pipeline_combinational
 from .flow import FlowOptions, XsfqSynthesisResult, synthesize_xsfq
+from .flowgraph import (
+    DEFAULT_STAGE_ORDER,
+    Flow,
+    FlowError,
+    FlowState,
+    Stage,
+    STAGES,
+    StageCache,
+    StageEvent,
+    TimingObserver,
+    design_fingerprint,
+    get_stage_cache,
+    register_stage,
+    render_stage_table,
+    set_stage_cache,
+)
 from .liberty import LibertyCell, parse_liberty, read_liberty, save_liberty, write_liberty
 from .report import (
     CircuitReport,
@@ -111,6 +129,20 @@ __all__ = [
     "FlowOptions",
     "XsfqSynthesisResult",
     "synthesize_xsfq",
+    "Flow",
+    "FlowError",
+    "FlowState",
+    "Stage",
+    "STAGES",
+    "DEFAULT_STAGE_ORDER",
+    "StageCache",
+    "StageEvent",
+    "TimingObserver",
+    "register_stage",
+    "render_stage_table",
+    "design_fingerprint",
+    "get_stage_cache",
+    "set_stage_cache",
     "write_liberty",
     "save_liberty",
     "parse_liberty",

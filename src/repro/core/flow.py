@@ -2,18 +2,22 @@
 
 :func:`synthesize_xsfq` takes an arbitrary gate-level network (or an AIG)
 and produces a technology-mapped xSFQ netlist plus the component breakdown
-the paper reports:
+the paper reports.  Since the pass-manager redesign it is a thin
+backwards-compatible shim: the actual pipeline is the staged
+:class:`repro.core.flowgraph.Flow` built by ``Flow.from_options(options)``,
+and the **stage registry** in :mod:`repro.core.flowgraph` (``STAGES``:
+``frontend``, ``aig-opt``, ``pipeline``, ``polarity``, ``map``,
+``sequential``, ``report``) is the source of truth for what the flow
+executes and in which order.  This module keeps the two public data
+records of the flow:
 
-1. convert the network into a structurally hashed AIG;
-2. optimise it with the off-the-shelf AIG passes of :mod:`repro.aig`
-   (the paper's headline point is that *no* customisation is needed);
-3. choose output/sink polarities with the domino-style phase-assignment
-   heuristic and propagate rail requirements backwards (Section 3.1.4-3.1.5);
-4. map every required rail to an LA or FA cell, insert fanout splitters,
-   and — for sequential or pipelined designs — insert DROC storage ranks
-   with the preloading/trigger initialisation strategy (Section 3.2);
-5. report LA/FA, splitter and DROC counts, duplication penalty, logical
-   depth, JJ totals (with and without PTL interfaces) and clock frequencies.
+* :class:`FlowOptions` — the serialisable knob record users pass to
+  ``synthesize_xsfq`` (and from which ``Flow.from_options`` derives the
+  per-stage options);
+* :class:`XsfqSynthesisResult` — the mapped netlist plus every
+  paper-style metric (LA/FA, splitter and DROC counts, duplication
+  penalty, logical depth, JJ totals under both interconnect cost models,
+  clock frequencies).
 """
 
 from __future__ import annotations
@@ -21,18 +25,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field, fields
 from typing import Dict, Mapping, Optional, Tuple, Union
 
-from ..aig import Aig, network_to_aig, optimize
+from ..aig import Aig
 from ..netlist.network import LogicNetwork
 from .cells import XsfqLibrary, default_library
-from .dual_rail import XsfqNetlist, map_combinational
-from .pipeline import PipelineResult, pipeline_clock_frequencies, pipeline_combinational
-from .polarity import (
-    RailAnalysis,
-    analyze_rails,
-    assign_output_polarities,
-    direct_mapping_analysis,
-)
-from .sequential import SequentialMappingInfo, clock_frequency_ghz, map_sequential
+from .dual_rail import XsfqNetlist
+from .pipeline import PipelineResult, pipeline_clock_frequencies
+from .polarity import RailAnalysis
+from .sequential import SequentialMappingInfo, clock_frequency_ghz
 
 
 @dataclass
@@ -69,11 +68,19 @@ class FlowOptions:
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "FlowOptions":
-        """Rebuild options from :meth:`to_dict` output; unknown keys raise."""
-        known = {f.name for f in fields(cls)}
-        unknown = set(data) - known
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys raise a :class:`ValueError` naming both the offending
+        keys and the full set of valid field names, rather than leaking a
+        dataclass ``TypeError`` about unexpected keyword arguments.
+        """
+        known = [f.name for f in fields(cls)]
+        unknown = set(data) - set(known)
         if unknown:
-            raise ValueError(f"unknown FlowOptions keys: {sorted(unknown)}")
+            raise ValueError(
+                f"unknown FlowOptions keys: {sorted(unknown)}; "
+                f"valid keys are: {', '.join(known)}"
+            )
         return cls(**dict(data))
 
 
@@ -85,7 +92,9 @@ class XsfqSynthesisResult:
     netlist: XsfqNetlist
     aig: Aig
     analysis: RailAnalysis
-    options: FlowOptions
+    #: The FlowOptions the producing flow was derived from; None when the
+    #: flow was hand-composed and has no FlowOptions equivalent.
+    options: Optional[FlowOptions] = None
     sequential_info: Optional[SequentialMappingInfo] = None
     pipeline_result: Optional[PipelineResult] = None
     source_stats: Dict[str, int] = field(default_factory=dict)
@@ -157,7 +166,7 @@ class XsfqSynthesisResult:
             "clock_arch_ghz": arch_ghz,
             "aig_ands": self.aig.num_ands,
             "source_stats": dict(self.source_stats),
-            "options": self.options.to_dict(),
+            "options": self.options.to_dict() if self.options is not None else None,
         }
 
     def component_breakdown(self, use_ptl: bool = False) -> Dict[str, object]:
@@ -176,22 +185,21 @@ class XsfqSynthesisResult:
         }
 
 
-def _to_aig(design: Union[LogicNetwork, Aig], name: Optional[str]) -> Aig:
-    if isinstance(design, Aig):
-        aig = design
-    else:
-        aig = network_to_aig(design)
-    if name:
-        aig.name = name
-    return aig
-
-
 def synthesize_xsfq(
     design: Union[LogicNetwork, Aig],
     options: Optional[FlowOptions] = None,
     name: Optional[str] = None,
 ) -> XsfqSynthesisResult:
     """Run the full xSFQ synthesis flow on a design.
+
+    Backwards-compatible shim over the staged pass manager: builds the
+    equivalent :class:`repro.core.flowgraph.Flow` with
+    ``Flow.from_options(options)`` and runs it.  New code that wants to
+    customise, observe or resume the pipeline should use :class:`Flow`
+    directly.  Like every flow run, this consults the process-wide
+    bounded stage cache (repeat synthesis of the same design reuses the
+    optimised AIG); use ``Flow.run(design, use_stage_cache=False)`` or
+    :func:`repro.core.flowgraph.set_stage_cache` to opt out or resize.
 
     Args:
         design: A gate-level :class:`LogicNetwork` or an :class:`Aig`
@@ -202,71 +210,6 @@ def synthesize_xsfq(
     Returns:
         An :class:`XsfqSynthesisResult`.
     """
-    options = options or FlowOptions()
-    aig = _to_aig(design, name)
-    source_stats = aig.stats()
+    from .flowgraph import Flow
 
-    if options.effort != "none":
-        aig = optimize(aig, effort=options.effort, verify=options.verify)
-    else:
-        aig = aig.cleanup()
-
-    result_name = name or aig.name
-
-    # Pipelined combinational designs.
-    if aig.is_combinational() and options.pipeline_stages > 0:
-        pipe = pipeline_combinational(
-            aig,
-            options.pipeline_stages,
-            optimize_polarity=options.optimize_polarity and not options.direct_mapping,
-            splitter_style=options.splitter_style,
-            name=result_name,
-        )
-        analysis = pipe.analysis if pipe.analysis is not None else analyze_rails(pipe.aig)
-        return XsfqSynthesisResult(
-            name=result_name,
-            netlist=pipe.netlist,
-            aig=pipe.aig,
-            analysis=analysis,
-            options=options,
-            pipeline_result=pipe,
-            source_stats=source_stats,
-        )
-
-    # Rail analysis / polarity assignment.
-    if options.direct_mapping:
-        analysis = direct_mapping_analysis(aig)
-    elif options.optimize_polarity:
-        _, analysis = assign_output_polarities(aig, max_sweeps=options.polarity_sweeps)
-    else:
-        analysis = analyze_rails(aig)
-
-    if aig.is_combinational():
-        netlist = map_combinational(
-            aig, analysis, name=result_name, splitter_style=options.splitter_style
-        )
-        return XsfqSynthesisResult(
-            name=result_name,
-            netlist=netlist,
-            aig=aig,
-            analysis=analysis,
-            options=options,
-            source_stats=source_stats,
-        )
-
-    netlist, info = map_sequential(
-        aig,
-        analysis,
-        name=result_name,
-        retime=options.retime,
-        splitter_style=options.splitter_style,
-    )
-    return XsfqSynthesisResult(
-        name=result_name,
-        netlist=netlist,
-        aig=aig,
-        analysis=analysis,
-        options=options,
-        sequential_info=info,
-        source_stats=source_stats,
-    )
+    return Flow.from_options(options or FlowOptions()).run(design, name=name)

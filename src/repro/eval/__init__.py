@@ -45,6 +45,7 @@ from .runner import (
     ExperimentSpec,
     Runner,
     RunReport,
+    render_stage_timings,
     run_experiment,
     write_csv,
     write_json,
@@ -80,6 +81,7 @@ __all__ = [
     "ExperimentSpec",
     "Runner",
     "RunReport",
+    "render_stage_timings",
     "run_experiment",
     "write_json",
     "write_csv",

@@ -9,8 +9,12 @@ Three subcommands::
 ``repro run`` accepts one or more experiment names (or ``all``), executes
 their synthesis jobs through the parallel runner with the shared
 content-addressed result cache (``--cache-dir`` / ``REPRO_CACHE_DIR``,
-``--no-cache`` to disable), prints the paper-style tables, and with
-``--save DIR`` also emits machine-readable JSON + CSV per experiment.
+``--no-cache`` to disable), prints the paper-style tables, with
+``--stage-timing`` also the per-stage (frontend / aig-opt / polarity /
+map / ...) observer timing table, and with ``--save DIR`` emits
+machine-readable JSON + CSV per experiment.  ``repro list`` additionally
+shows which experiments share a cached ``aig-opt`` stage prefix (the
+stage cache reuses the optimised AIG across them).
 """
 
 from __future__ import annotations
@@ -27,6 +31,7 @@ from .runner import (
     RunReport,
     load_report,
     render_report,
+    render_stage_timings,
     write_csv,
     write_json,
 )
@@ -68,6 +73,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="disable the on-disk result cache")
     run_cmd.add_argument("--save", default=None, metavar="DIR",
                          help="also write <experiment>-<scale>.json/.csv into DIR")
+    run_cmd.add_argument("--stage-timing", action="store_true",
+                         help="print the per-stage observer timing table "
+                              "(frontend, aig-opt, polarity, map, ...)")
     run_cmd.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-job progress lines")
 
@@ -85,6 +93,30 @@ def parse_args(argv: Optional[Sequence[str]] = None) -> argparse.Namespace:
     return build_parser().parse_args(argv)
 
 
+def _shared_prefix_groups() -> List[tuple]:
+    """Group experiments by shared cached ``aig-opt`` prefixes.
+
+    Two experiments share a prefix when they enumerate jobs with the same
+    circuit, scale and ``frontend``/``aig-opt`` options: the second one
+    resumes from the first one's stage-cached optimised AIG instead of
+    re-optimising.  Returns ``[(experiment-name tuple, shared count)]``.
+    """
+    prefix_owners: dict = {}
+    for name in sorted(EXPERIMENTS):
+        for job in EXPERIMENTS[name].enumerate_jobs():
+            try:
+                prefix = job.signature_prefix("aig-opt")
+            except ValueError:
+                continue
+            prefix_owners.setdefault(prefix, set()).add(name)
+    groups: dict = {}
+    for owners in prefix_owners.values():
+        if len(owners) > 1:
+            key = tuple(sorted(owners))
+            groups[key] = groups.get(key, 0) + 1
+    return sorted(groups.items())
+
+
 def _cmd_list(args: argparse.Namespace, out) -> int:
     out.write("Experiments (repro run <name>):\n")
     for name in sorted(EXPERIMENTS):
@@ -93,6 +125,15 @@ def _cmd_list(args: argparse.Namespace, out) -> int:
         jobs_note = f"{num_jobs} synthesis jobs" if num_jobs else "no synthesis"
         out.write(f"  {name:<10} {spec.title}  [{jobs_note}]\n")
     out.write("  all        every experiment above, in order\n")
+    groups = _shared_prefix_groups()
+    if groups:
+        out.write(
+            "\nShared aig-opt prefixes (stage cache reuses the optimised AIG"
+            " across these):\n"
+        )
+        for names, count in groups:
+            plural = "es" if count > 1 else ""
+            out.write(f"  {' + '.join(names)}: {count} shared prefix{plural}\n")
     if args.circuits:
         from ..circuits import CATALOG
 
@@ -147,6 +188,12 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         )
         out.write(report.result.text + "\n")
         _write_summary(report, out)
+        if args.stage_timing:
+            if report.stage_timings:
+                out.write("stage timing:\n")
+                out.write(render_stage_timings(report.stage_timings) + "\n")
+            else:
+                out.write("stage timing: (no synthesis stages ran)\n")
         if args.save:
             base = Path(args.save) / f"{name}-{report.scale}"
             json_path = write_json(report, base.with_suffix(".json"))

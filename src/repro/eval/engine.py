@@ -2,11 +2,18 @@
 
 Every table and figure of the paper's evaluation decomposes into
 per-circuit synthesis runs.  This module turns one such run into a
-declarative, picklable :class:`SynthesisJob` (circuit name + scale +
-:class:`~repro.core.flow.FlowOptions`), computes it into a flat
-JSON-serialisable *record* of metrics, and memoises records in a
-content-addressed on-disk :class:`ResultCache` keyed on the job payload
-plus the package version.
+declarative, picklable :class:`SynthesisJob` (circuit name + scale + a
+:class:`~repro.core.flowgraph.Flow` *signature*), computes it into a
+flat JSON-serialisable *record* of metrics, and memoises records in a
+content-addressed on-disk :class:`ResultCache` keyed on the flow
+signature (ordered stage names + per-stage options) plus the package
+version.  Because the key is the staged signature rather than a pickled
+``FlowOptions``, any flow — including hand-composed ones with custom
+stages — caches uniformly, and the in-process *stage cache*
+(:class:`repro.core.flowgraph.StageCache`) additionally memoises the
+expensive shared prefixes: a cached post-``aig-opt`` AIG is reused
+across polarity/mapping variants of the same circuit, which is the bulk
+of the ablation and table-sweep wall clock.
 
 The :class:`SynthesisEngine` is the seam between the experiment
 assemblers in :mod:`repro.eval.experiments` and the scheduler in
@@ -32,16 +39,21 @@ from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 from ..baselines import pbmap_like, qseq_like
 from ..circuits import build as build_circuit
 from ..circuits import info as circuit_info
-from ..core import FlowOptions, synthesize_xsfq
+from ..core import Flow, FlowOptions, TimingObserver, get_stage_cache
 
 #: Bumped when the record layout changes incompatibly; part of every cache key.
-RECORD_SCHEMA = 1
+#: Schema 2: records key on the flow signature and carry per-stage timings.
+RECORD_SCHEMA = 2
 
 
 def _package_version() -> str:
     from .. import __version__
 
     return __version__
+
+
+#: A flow signature entry as stored on a job: (stage name, merged options).
+StageSignature = Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...]
 
 
 @dataclass(frozen=True)
@@ -51,13 +63,19 @@ class SynthesisJob:
     Attributes:
         circuit: Name from :mod:`repro.circuits.registry`.
         scale: ``"quick"`` or ``"paper"`` circuit dimensions.
-        options: Flow options as a sorted ``(key, value)`` tuple so the
-            job is hashable and picklable across worker processes.
+        options: Flow options as a sorted ``(key, value)`` tuple, kept for
+            backwards compatibility and for jobs whose flow was derived
+            from a :class:`FlowOptions`; empty for hand-composed flows.
+        stages: The flow's canonical signature (ordered stage names +
+            fully merged per-stage options) — the cache identity.  Both
+            fields are plain tuples so the job stays hashable and
+            picklable across worker processes.
     """
 
     circuit: str
     scale: str = "quick"
     options: Tuple[Tuple[str, object], ...] = ()
+    stages: StageSignature = ()
 
     @classmethod
     def create(
@@ -75,26 +93,91 @@ class SynthesisJob:
         if not isinstance(options, FlowOptions):
             options = FlowOptions.from_dict(dict(options or {}))
         items = tuple(sorted(options.to_dict().items()))
-        return cls(circuit=circuit, scale=scale, options=items)
+        signature = Flow.from_options(options).signature()
+        return cls(circuit=circuit, scale=scale, options=items, stages=signature)
+
+    @classmethod
+    def from_flow(
+        cls, circuit: str, scale: str = "quick", flow: Optional[Flow] = None
+    ) -> "SynthesisJob":
+        """Build a job from an arbitrary :class:`~repro.core.flowgraph.Flow`.
+
+        Flows derived from a :class:`FlowOptions` (``Flow.from_options``,
+        ``Flow.default``, ``Flow.direct_mapping``) also carry the options
+        tuple, so job labels and records stay as informative as before;
+        hand-composed flows are identified by their signature alone.
+        """
+        flow = flow if flow is not None else Flow.default()
+        items: Tuple[Tuple[str, object], ...] = ()
+        if flow.options is not None:
+            items = tuple(sorted(flow.options.to_dict().items()))
+        return cls(circuit=circuit, scale=scale, options=items, stages=flow.signature())
+
+    def flow(self) -> Flow:
+        """Reconstruct the runnable flow this job describes."""
+        if self.stages:
+            flow = Flow.from_signature(self.stages)
+            if self.options:
+                flow.options = FlowOptions.from_dict(dict(self.options))
+            return flow
+        return Flow.from_options(self.flow_options())
 
     def flow_options(self) -> FlowOptions:
+        """The equivalent ``FlowOptions`` (raises for hand-composed flows)."""
+        if not self.options:
+            if self.stages:
+                raise ValueError(
+                    "job was built from a hand-composed Flow with no "
+                    "FlowOptions equivalent; use job.flow() instead"
+                )
+            return FlowOptions()
         return FlowOptions.from_dict(dict(self.options))
+
+    def signature(self) -> StageSignature:
+        """The flow signature (computed from options for legacy jobs)."""
+        if self.stages:
+            return self.stages
+        return Flow.from_options(dict(self.options)).signature()
+
+    def signature_prefix(self, until: str = "aig-opt") -> Tuple[object, ...]:
+        """Hashable identity of this job's work up to stage ``until``.
+
+        Two jobs with equal prefixes share the stage cache up to that
+        stage (``repro list`` uses this to show which experiments reuse
+        each other's cached ``aig-opt`` results).  Returns a tuple of
+        (circuit, scale, signature-prefix); raises ``ValueError`` when
+        the flow has no stage named ``until``.
+        """
+        entries = []
+        for entry in self.signature():
+            entries.append(entry)
+            if entry[0] == until:
+                return (self.circuit, self.scale, tuple(entries))
+        raise ValueError(f"job flow has no stage {until!r}")
+
+    def pipeline_stages(self) -> int:
+        """Architectural pipeline stages the job's flow inserts (0 if none)."""
+        for name, options in self.signature():
+            if name == "pipeline":
+                return int(dict(options).get("stages", 0))
+        return 0
 
     def to_dict(self) -> Dict[str, object]:
         return {
             "circuit": self.circuit,
             "scale": self.scale,
-            "options": dict(self.options),
+            "options": dict(self.options) if self.options else None,
+            "flow": [[name, dict(options)] for name, options in self.signature()],
         }
 
     def key(self) -> str:
-        """Content-addressed cache key: job payload + package version."""
+        """Content-addressed cache key: flow signature + package version."""
         payload = {
             "schema": RECORD_SCHEMA,
             "version": _package_version(),
             "circuit": self.circuit,
             "scale": self.scale,
-            "options": dict(self.options),
+            "flow": self.signature(),
         }
         canonical = json.dumps(payload, sort_keys=True, default=str)
         return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
@@ -111,18 +194,21 @@ def synthesis_record(job: SynthesisJob) -> Dict[str, object]:
     against a clocked flow.
     """
     info = circuit_info(job.circuit)
-    options = job.flow_options()
     network = build_circuit(job.circuit, job.scale)
-    result = synthesize_xsfq(network, options)
+    timing = TimingObserver()
+    result = job.flow().run(
+        network, observers=(timing,), stage_cache=get_stage_cache()
+    )
     record = result.metrics()
     record.update(job.to_dict())
     record["kind"] = info.kind
     record["suite"] = info.suite
     record["num_flipflops"] = len(network.latches)
+    record["stages"] = timing.rows()
     record["baseline_name"] = ""
     record["baseline_jj"] = None
     record["baseline_jj_clocked"] = None
-    if options.pipeline_stages == 0:
+    if job.pipeline_stages() == 0:
         if info.kind == "sequential":
             baseline = qseq_like(network)
             record["baseline_name"] = "qSeq-like"

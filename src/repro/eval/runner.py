@@ -25,7 +25,7 @@ import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from . import experiments
 from .engine import (
@@ -171,6 +171,11 @@ class RunReport:
         computed_jobs: Jobs actually synthesised this run (cache misses).
         cached_jobs: Jobs served from the result cache.
         job_timings: Seconds per computed job, keyed by a job label.
+        stage_timings: Per-stage aggregate over every record the run
+            touched: ``{stage: {"runs", "cached", "total_s", "mean_s"}}``.
+            ``runs``/``total_s`` cover only stages executed this run;
+            stage-cache hits and records replayed from the result cache
+            count under ``cached``.  Rendered by ``repro run --stage-timing``.
         elapsed_s: Wall-clock for the whole run (synthesis + assembly).
     """
 
@@ -182,6 +187,7 @@ class RunReport:
     computed_jobs: int = 0
     cached_jobs: int = 0
     job_timings: Dict[str, float] = field(default_factory=dict)
+    stage_timings: Dict[str, Dict[str, float]] = field(default_factory=dict)
     elapsed_s: float = 0.0
 
     @property
@@ -198,6 +204,7 @@ class RunReport:
             "computed_jobs": self.computed_jobs,
             "cached_jobs": self.cached_jobs,
             "job_timings": dict(self.job_timings),
+            "stage_timings": {k: dict(v) for k, v in self.stage_timings.items()},
             "elapsed_s": self.elapsed_s,
             "rows": self.result.rows,
             "summary": self.result.summary,
@@ -205,13 +212,64 @@ class RunReport:
         }
 
 
+def _aggregate_stage_timings(
+    records_by_key: Mapping[str, Mapping[str, object]],
+    computed_keys: Iterable[str],
+) -> Dict[str, Dict[str, float]]:
+    """Fold the per-record stage timing rows into one per-stage summary.
+
+    Only records computed *this run* (``computed_keys``) count as executed
+    stages; rows from records replayed out of the disk cache are folded
+    into the ``cached`` column so the table matches the run's own
+    "N synthesised" summary instead of echoing historical timings.
+    """
+    live = set(computed_keys)
+    totals: Dict[str, Dict[str, float]] = {}
+    for key, record in records_by_key.items():
+        for row in record.get("stages") or []:
+            entry = totals.setdefault(
+                str(row.get("stage")),
+                {"runs": 0, "cached": 0, "total_s": 0.0, "mean_s": 0.0},
+            )
+            if key in live and not row.get("cached"):
+                entry["runs"] += 1
+                entry["total_s"] += float(row.get("seconds") or 0.0)
+            else:
+                entry["cached"] += 1
+    for entry in totals.values():
+        executed = entry["runs"] or 1
+        entry["mean_s"] = entry["total_s"] / executed
+    return totals
+
+
+def render_stage_timings(stage_timings: Mapping[str, Mapping[str, float]]) -> str:
+    """Text table for ``repro run --stage-timing`` (and saved JSON reports)."""
+    from ..core import format_table
+
+    rows = [
+        [
+            stage,
+            int(entry.get("runs", 0)),
+            int(entry.get("cached", 0)),
+            f"{entry.get('total_s', 0.0):.3f}",
+            f"{entry.get('mean_s', 0.0):.4f}",
+        ]
+        for stage, entry in stage_timings.items()
+    ]
+    return format_table(["Stage", "Runs", "Cached", "Total (s)", "Mean (s)"], rows)
+
+
 def _job_label(job: SynthesisJob) -> str:
-    tweaks = {
-        key: value
-        for key, value in job.options
-        if value != getattr(experiments.FlowOptions(), key)
-    }
-    suffix = "".join(f" {k}={v}" for k, v in sorted(tweaks.items()))
+    if job.options:
+        tweaks = {
+            key: value
+            for key, value in job.options
+            if value != getattr(experiments.FlowOptions(), key)
+        }
+        suffix = "".join(f" {k}={v}" for k, v in sorted(tweaks.items()))
+    else:
+        # Hand-composed flow: identify it by its stage sequence.
+        suffix = " flow=" + ">".join(name for name, _ in job.signature())
     return f"{job.circuit}@{job.scale}{suffix}"
 
 
@@ -253,13 +311,14 @@ class Runner:
 
         engine = SynthesisEngine(cache=self.cache)
         job_list = spec.enumerate_jobs(scale, effort, circuits)
-        timings = self._prefetch(engine, job_list)
+        timings, computed_keys = self._prefetch(engine, job_list)
 
         result = spec.assemble(scale, effort, engine, circuits)
         # Jobs the assembler needed beyond the enumerated set (there should
         # be none — specs enumerate exactly what their assembler requests).
         for job, seconds in engine.computed:
             timings.setdefault(_job_label(job), seconds)
+            computed_keys.add(job.key())
 
         elapsed = time.perf_counter() - started
         computed = len(timings)
@@ -272,6 +331,7 @@ class Runner:
             computed_jobs=computed,
             cached_jobs=max(0, len(job_list) - computed),
             job_timings=timings,
+            stage_timings=_aggregate_stage_timings(engine.memory, computed_keys),
             elapsed_s=elapsed,
         )
         self.progress(
@@ -285,11 +345,16 @@ class Runner:
     # ------------------------------------------------------------------
     def _prefetch(
         self, engine: SynthesisEngine, job_list: Sequence[SynthesisJob]
-    ) -> Dict[str, float]:
-        """Compute every enumerated job missing from the cache."""
+    ) -> Tuple[Dict[str, float], set]:
+        """Compute every enumerated job missing from the cache.
+
+        Returns per-job wall times and the cache keys of the jobs actually
+        synthesised this run (vs replayed from the result cache).
+        """
         timings: Dict[str, float] = {}
+        computed_keys: set = set()
         if not job_list:
-            return timings
+            return timings, computed_keys
         pending: List[SynthesisJob] = []
         seen = set()
         for job in job_list:
@@ -305,17 +370,18 @@ class Runner:
             else:
                 pending.append(job)
         if not pending:
-            return timings
+            return timings, computed_keys
 
         if self.jobs == 1 or len(pending) == 1:
             for index, job in enumerate(pending, 1):
                 job, record, seconds = timed_synthesis_record(job)
                 timings[_job_label(job)] = seconds
+                computed_keys.add(job.key())
                 engine.prime(job, record)
                 self.progress(
                     f"  [{index}/{len(pending)}] synthesised {_job_label(job)} ({seconds:.2f}s)"
                 )
-            return timings
+            return timings, computed_keys
 
         self.progress(
             f"  scheduling {len(pending)} synthesis jobs on {self.jobs} workers"
@@ -325,12 +391,13 @@ class Runner:
                 pool.imap(timed_synthesis_record, pending), 1
             ):
                 timings[_job_label(job)] = seconds
+                computed_keys.add(job.key())
                 engine.prime(job, record)
                 self.progress(
                     f"  [{index}/{len(pending)}] synthesised {_job_label(job)} "
                     f"({seconds:.2f}s)"
                 )
-        return timings
+        return timings, computed_keys
 
 
 def run_experiment(

@@ -17,6 +17,7 @@ def test_parse_run_defaults():
     assert args.scale == "quick" and args.effort is None
     assert args.jobs == 1 and args.circuits is None
     assert not args.no_cache and args.save is None and not args.quiet
+    assert not args.stage_timing
 
 
 def test_parse_run_all_flags():
@@ -68,6 +69,36 @@ def test_list_shows_every_experiment(capsys):
     for name in ("table3", "table4", "table5", "table6", "figure7", "headline"):
         assert name in out
     assert "c880" in out and "iscas85" in out  # circuit catalogue listed
+
+
+def test_list_shows_shared_aig_opt_prefixes(capsys):
+    assert cli.main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Shared aig-opt prefixes" in out
+    # table3 and table4 both synthesise EPFL control circuits at the same
+    # default effort, so they must show up as sharing cached prefixes.
+    assert any("table3" in line and "table4" in line for line in out.splitlines())
+
+
+def test_run_stage_timing_table(capsys, tmp_path):
+    rc = cli.main(
+        [
+            "run", "table4", "--circuits", "ctrl", "--effort", "none",
+            "--cache-dir", str(tmp_path / "cache"), "--stage-timing", "-q",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "stage timing:" in out
+    for stage in ("frontend", "aig-opt", "polarity", "map"):
+        assert stage in out
+
+
+def test_run_stage_timing_without_synthesis(capsys):
+    rc = cli.main(["run", "figure1", "--no-cache", "--stage-timing", "-q"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "no synthesis stages ran" in out
 
 
 def test_run_figure1_no_synthesis(capsys, tmp_path):

@@ -4,6 +4,7 @@ import json
 
 import pytest
 
+from repro.core import Flow, FlowOptions, StageCache, set_stage_cache
 from repro.eval import (
     ResultCache,
     Runner,
@@ -74,6 +75,86 @@ def test_engine_memory_avoids_recompute_without_disk_cache():
     second = engine.record("ctrl", options=FAST_OPTIONS)
     assert first is second
     assert len(engine.computed) == 1
+
+
+def test_cache_keys_on_flow_signature():
+    # The record cache is addressed by the staged flow signature, so an
+    # options-built job and the equivalent Flow-built job are one record.
+    by_options = fast_job()
+    by_flow = SynthesisJob.from_flow(
+        "ctrl", "quick", Flow.from_options(FlowOptions(effort="none"))
+    )
+    assert by_options.key() == by_flow.key()
+    # A hand-composed flow with a different stage list is a different record.
+    custom = SynthesisJob.from_flow(
+        "ctrl",
+        "quick",
+        Flow.from_script(
+            ["frontend", ("aig-opt", {"effort": "none"}),
+             ("polarity", {"mode": "positive"}), "map", "sequential", "report"]
+        ),
+    )
+    assert custom.key() != by_options.key()
+    assert custom.flow().stage_names()[0] == "frontend"
+    with pytest.raises(ValueError, match="hand-composed"):
+        custom.flow_options()
+
+
+def test_record_carries_flow_signature_and_stage_timings():
+    engine = SynthesisEngine()
+    record = engine.record("ctrl", options=FAST_OPTIONS)
+    assert [entry[0] for entry in record["flow"]] == [
+        "frontend", "aig-opt", "pipeline", "polarity", "map", "sequential", "report",
+    ]
+    stage_rows = record["stages"]
+    assert [row["stage"] for row in stage_rows] == [e[0] for e in record["flow"]]
+    assert all(row["seconds"] >= 0.0 for row in stage_rows)
+
+
+# ---------------------------------------------------------------------------
+# Stage-level memoisation across flow variants
+# ---------------------------------------------------------------------------
+
+
+def test_polarity_sweep_reuses_cached_aig_opt_stage():
+    """Acceptance: a two-variant polarity sweep reuses the post-aig-opt AIG."""
+    from repro.core import get_stage_cache
+
+    previous = set_stage_cache(StageCache())
+    try:
+        stage_cache = get_stage_cache()
+        engine = SynthesisEngine()
+        engine.record("ctrl", options={"effort": "low", "optimize_polarity": True})
+        hits_before = stage_cache.hits
+        second = engine.record("ctrl", options={"effort": "low", "optimize_polarity": False})
+        assert stage_cache.hits == hits_before + 1
+        # The reused prefix is exactly the post-aig-opt boundary: the second
+        # record shows frontend/aig-opt served from the stage cache.
+        cached_stages = [r["stage"] for r in second["stages"] if r["cached"]]
+        assert cached_stages == ["frontend", "aig-opt"]
+    finally:
+        set_stage_cache(previous)
+
+
+def test_stage_cache_does_not_change_results():
+    previous = set_stage_cache(StageCache())
+    try:
+        warm = SynthesisEngine(memoize=False)
+        first = warm.record("int2float", options={"effort": "low"})
+        second = warm.record("int2float", options={"effort": "low", "optimize_polarity": False})
+        set_stage_cache(StageCache())  # cold cache, same jobs
+        cold = SynthesisEngine(memoize=False)
+        assert _metrics_only(cold.record("int2float", options={"effort": "low"})) == _metrics_only(first)
+        assert _metrics_only(
+            cold.record("int2float", options={"effort": "low", "optimize_polarity": False})
+        ) == _metrics_only(second)
+    finally:
+        set_stage_cache(previous)
+
+
+def _metrics_only(record):
+    """Strip the timing rows (the only legitimately nondeterministic part)."""
+    return {k: v for k, v in record.items() if k != "stages"}
 
 
 # ---------------------------------------------------------------------------
