@@ -1,0 +1,60 @@
+"""Link-check the markdown documentation set.
+
+Scans ``docs/*.md`` and ``README.md`` for markdown links and verifies
+that every *relative* target (``docs/cli.md``, ``../examples``,
+``src/repro/core/flowgraph.py`` ...) resolves to an existing file or
+directory.  External links (``http://``, ``https://``, ``mailto:``) and
+pure in-page anchors are skipped.  Exit status 1 lists every broken
+link — the CI docs job runs this on every push.
+
+Usage::
+
+    python docs/check_links.py
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline markdown links: [text](target)
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "#")
+
+
+def check_file(path: Path, repo_root: Path) -> list:
+    broken = []
+    for target in _LINK.findall(path.read_text(encoding="utf-8")):
+        if target.startswith(_SKIP_PREFIXES):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        try:
+            resolved.relative_to(repo_root)
+        except ValueError:
+            broken.append((target, "escapes the repository"))
+            continue
+        if not resolved.exists():
+            broken.append((target, "missing"))
+    return broken
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parent.parent
+    documents = sorted((repo_root / "docs").glob("*.md")) + [repo_root / "README.md"]
+    failures = 0
+    for document in documents:
+        for target, why in check_file(document, repo_root):
+            print(f"{document.relative_to(repo_root)}: broken link {target!r} ({why})")
+            failures += 1
+    checked = ", ".join(str(d.relative_to(repo_root)) for d in documents)
+    if failures:
+        print(f"{failures} broken link(s) across {checked}")
+        return 1
+    print(f"all links resolve: {checked}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,6 +10,8 @@ The package is organised as a synthesis framework:
   dual-rail mapping, polarity optimisation and the sequential methodology;
 * :mod:`repro.baselines` — conventional clocked RSFQ flows (PBMap/qSeq-like);
 * :mod:`repro.sim` — pulse-level and analog (RCSJ) simulators;
+* :mod:`repro.verify` — pulse-accurate equivalence verification: batched
+  stimulus suites, the ``verify`` flow stage and catalog-wide campaigns;
 * :mod:`repro.circuits` — benchmark circuit generators;
 * :mod:`repro.eval` — parallel experiment engine reproducing the paper's
   tables and figures (also exposed as the ``repro`` command-line tool).
@@ -28,7 +30,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from .core import (  # noqa: E402
     Flow,
@@ -57,7 +59,18 @@ from .circuits import CATALOG, CircuitInfo  # noqa: E402
 from .circuits import build as build_circuit  # noqa: E402
 from .circuits import info as circuit_info  # noqa: E402
 from .circuits import names as circuit_names  # noqa: E402
-from .sim.pulse import simulate_combinational, simulate_sequential  # noqa: E402
+from .sim.pulse import (  # noqa: E402
+    BatchedNetlistSimulator,
+    simulate_combinational,
+    simulate_sequential,
+)
+from .verify import (  # noqa: E402  - also registers the 'verify' stage
+    StimulusSuite,
+    VerificationSpec,
+    VerificationVerdict,
+    stimulus_suite,
+    verify_result,
+)
 from .eval import (  # noqa: E402
     EXPERIMENTS,
     ExperimentResult,
@@ -104,8 +117,15 @@ __all__ = [
     "circuit_info",
     "circuit_names",
     # Simulation
+    "BatchedNetlistSimulator",
     "simulate_combinational",
     "simulate_sequential",
+    # Verification
+    "StimulusSuite",
+    "stimulus_suite",
+    "VerificationSpec",
+    "VerificationVerdict",
+    "verify_result",
     # Experiment engine
     "EXPERIMENTS",
     "ExperimentSpec",

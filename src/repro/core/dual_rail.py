@@ -77,6 +77,12 @@ class XsfqNetlist:
         self.output_ports: List[OutputPort] = []
         self.clock_nets: List[str] = []
         self.trigger_nets: List[str] = []
+        #: How many phases *before* the synchronous convention the primary
+        #: input waves must be driven.  Retimed sequential mappings register
+        #: every cut-crossing signal in a mid-rank DROC; input waves then
+        #: need one extra phase to traverse that rank, so they enter one
+        #: phase early — aligned with the start-up trigger.
+        self.input_phase_lead: int = 0
         self._cell_counter = 0
         # Populated by map_combinational so downstream passes (sequential
         # DROC insertion, pipelining) can relate cells/nets back to AIG nodes.

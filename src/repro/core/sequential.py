@@ -56,6 +56,9 @@ class SequentialMappingInfo:
         cut_level: Level threshold used for the retimed rank (None when
             retiming was disabled).
         stage_depths: Logic depth (LA/FA cells) of each synchronous stage.
+        start_state: Architectural state (0/1 per latch) established by
+            the preload/trigger start-up — the reference state a golden
+            simulation must start from (see :mod:`repro.verify`).
     """
 
     preloaded_drocs: List[str] = field(default_factory=list)
@@ -64,6 +67,11 @@ class SequentialMappingInfo:
     midpoint_nodes: List[int] = field(default_factory=list)
     cut_level: Optional[int] = None
     stage_depths: List[int] = field(default_factory=list)
+    #: Architectural state established by the preload/trigger start-up.
+    #: A boundary DROC that captures the *positive* rail of its next-state
+    #: function starts its latch at 1; one capturing the negative rail
+    #: starts it at 0 (the preloaded pulse then travels the inverted rail).
+    start_state: Dict[str, int] = field(default_factory=dict)
 
     @property
     def droc_counts(self) -> Tuple[int, int]:
@@ -126,24 +134,38 @@ def map_sequential(
     mid_nodes: List[int] = []
     if retime and depth >= 2:
         threshold = level_cut(aig, 0.5)
-        mid_nodes = [n for n in cut_signals(aig, threshold) if aig.is_and(n)]
+        # Register *every* signal that crosses the cut — AND nodes, primary
+        # inputs, latch outputs and constants alike.  Leaving leaf rails
+        # unregistered would desynchronise the two regions: logic above the
+        # cut runs one phase behind the primary-input waves, so a direct
+        # PI connection would pair pulses from different phases.
+        mid_nodes = list(cut_signals(aig, threshold))
     info.cut_level = threshold
     info.midpoint_nodes = list(mid_nodes)
 
     # ------------------------------------------------------------------
-    # Mid-rank (non-preloaded) DROCs at the balanced cut.
+    # Mid-rank (non-preloaded) DROCs at the balanced cut.  Each DROC
+    # captures one available rail and reconstructs both complementary
+    # rails one phase later; the output order encodes which rail was
+    # captured (a pulse on the negative rail means "value 0", so a DROC
+    # fed from it must emit its stored pulse on the negative output).
     # ------------------------------------------------------------------
     renamed: Dict[str, str] = {}
     for node in mid_nodes:
         pos_net = netlist.node_rail_nets.get((node, Rail.POS))
         neg_net = netlist.node_rail_nets.get((node, Rail.NEG))
+        if pos_net is None and neg_net is None and node == 0:
+            # Constant rails are implicit nets (no mapped cell drives them).
+            pos_net = rail_net(0, Rail.POS, aig)
+            neg_net = rail_net(0, Rail.NEG, aig)
         source = pos_net or neg_net
         if source is None:
             continue
         q_pos = f"n{node}_p$q"
         q_neg = f"n{node}_n$q"
+        outputs = [q_pos, q_neg] if pos_net is not None else [q_neg, q_pos]
         cell = netlist.add_cell(
-            CellKind.DROC, [source], [q_pos, q_neg], name=f"droc_mid_n{node}"
+            CellKind.DROC, [source], outputs, name=f"droc_mid_n{node}"
         )
         info.plain_drocs.append(cell.name)
         if pos_net is not None:
@@ -158,6 +180,14 @@ def map_sequential(
             if node is None or levels[node] <= threshold:
                 continue
             cell.inputs = [renamed.get(net, net) for net in cell.inputs]
+        # Primary outputs always read from above the cut: a root whose
+        # driver sits below the threshold crosses the cut by definition
+        # (see cut_signals) and must observe the registered value.
+        for port in netlist.output_ports:
+            port.net = renamed.get(port.net, port.net)
+        # Input waves need one extra phase to traverse the mid rank, so
+        # the simulator drives them one phase early (with the trigger).
+        netlist.input_phase_lead = 1
 
     # ------------------------------------------------------------------
     # Boundary (preloaded) DROCs: one per logical flip-flop.  Every logical
@@ -180,17 +210,24 @@ def map_sequential(
         data_net = renamed.get(data_net, data_net)
         q_pos = rail_net(latch.node, Rail.POS, aig)
         q_neg = rail_net(latch.node, Rail.NEG, aig)
+        # A DROC captures pulses from exactly one rail of its next-state
+        # *value*: with sink polarity POS a stored pulse means "value 1",
+        # with polarity NEG it means "value 0" (``rail`` is merely the
+        # physical driver-node net after literal complementation).  A
+        # NEG-polarity DROC must therefore emit its stored pulse on the
+        # negative latch rail — and its preloaded start-up pulse then makes
+        # the latch start at 0 rather than 1 (recorded in ``start_state``).
+        q_outputs = [q_pos, q_neg] if polarity is Rail.POS else [q_neg, q_pos]
+        info.start_state[latch.name] = 1 if polarity is Rail.POS else 0
         driver_node = lit_node(latch.next_lit)
-        feedback_crosses_cut = (
-            threshold is not None
-            and aig.is_and(driver_node)
-            and (driver_node in mid_node_set or levels[driver_node] > threshold)
+        feedback_crosses_cut = threshold is not None and (
+            driver_node in mid_node_set or levels[driver_node] > threshold
         )
         if feedback_crosses_cut:
             cell = netlist.add_cell(
                 CellKind.DROC,
                 [data_net],
-                [q_pos, q_neg],
+                q_outputs,
                 name=f"droc_{latch.name}",
                 preload=True,
             )
@@ -207,7 +244,7 @@ def map_sequential(
             partner = netlist.add_cell(
                 CellKind.DROC,
                 [mid_pos],
-                [q_pos, q_neg],
+                q_outputs,
                 name=f"droc_{latch.name}_b",
             )
             info.plain_drocs.append(partner.name)

@@ -1,9 +1,10 @@
 """``repro`` — the operator CLI for reproducing the paper's evaluation.
 
-Three subcommands::
+Four subcommands::
 
     repro list                 # what can be reproduced, and with what
     repro run table4 --jobs 4  # reproduce artefacts on a worker pool
+    repro verify --catalog     # pulse-level equivalence campaign
     repro report results/      # re-render previously saved run reports
 
 ``repro run`` accepts one or more experiment names (or ``all``), executes
@@ -15,11 +16,17 @@ map / ...) observer timing table, and with ``--save DIR`` emits
 machine-readable JSON + CSV per experiment.  ``repro list`` additionally
 shows which experiments share a cached ``aig-opt`` stage prefix (the
 stage cache reuses the optimised AIG across them).
+
+``repro verify`` synthesises catalogued circuits and batch-simulates
+hundreds of stimulus patterns per circuit at the pulse level against
+word-parallel golden AIG simulation, caching verdicts in the same
+content-addressed store; see ``docs/verification.md`` and ``docs/cli.md``.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -78,6 +85,38 @@ def build_parser() -> argparse.ArgumentParser:
                               "(frontend, aig-opt, polarity, map, ...)")
     run_cmd.add_argument("-q", "--quiet", action="store_true",
                          help="suppress per-job progress lines")
+
+    verify_cmd = sub.add_parser(
+        "verify", help="pulse-level equivalence campaign over the circuit catalog",
+    )
+    scope = verify_cmd.add_mutually_exclusive_group()
+    scope.add_argument("--catalog", action="store_true",
+                       help="verify every circuit in the registry (default)")
+    scope.add_argument("--circuit", action="append", metavar="NAME", default=None,
+                       help="verify one circuit (repeatable)")
+    verify_cmd.add_argument("--patterns", type=int, default=256, metavar="N",
+                            help="stimulus patterns per circuit (default: 256; "
+                                 "small input spaces are checked exhaustively)")
+    verify_cmd.add_argument("--seed", type=int, default=0, metavar="S",
+                            help="stimulus seed (part of the cache identity)")
+    verify_cmd.add_argument("--sequence-length", type=int, default=8, metavar="L",
+                            help="cycles per trajectory for sequential circuits "
+                                 "(default: 8)")
+    verify_cmd.add_argument("--scale", choices=SCALES, default="quick",
+                            help="benchmark circuit scale (default: quick)")
+    verify_cmd.add_argument("--effort", choices=EFFORTS, default="medium",
+                            help="AIG optimisation effort of the verified flow")
+    verify_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (default: 1)")
+    verify_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="result cache directory (default: REPRO_CACHE_DIR "
+                                 "or ~/.cache/repro-xsfq)")
+    verify_cmd.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk verdict cache")
+    verify_cmd.add_argument("--save", default=None, metavar="DIR",
+                            help="also write verify-<scale>.json into DIR")
+    verify_cmd.add_argument("-q", "--quiet", action="store_true",
+                            help="suppress per-circuit progress lines")
 
     report_cmd = sub.add_parser(
         "report", help="re-render saved JSON run reports",
@@ -230,6 +269,57 @@ def _write_summary(report: RunReport, out) -> None:
     )
 
 
+def _cmd_verify(args: argparse.Namespace, out) -> int:
+    from ..core import Flow, FlowOptions
+    from ..verify import catalog_specs, render_verification_table
+
+    _validate_circuits(args.circuit)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    flow = Flow.from_options(FlowOptions(effort=args.effort))
+    specs = catalog_specs(
+        circuits=args.circuit,
+        scale=args.scale,
+        flow=flow,
+        patterns=args.patterns,
+        seed=args.seed,
+        sequence_length=args.sequence_length,
+    )
+    scope = "catalog" if not args.circuit else ", ".join(args.circuit)
+    out.write(
+        f"=== verify: {scope} ({len(specs)} circuits, "
+        f"{args.patterns} patterns, seed {args.seed}) ===\n"
+    )
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    report = runner.verify(specs)
+    out.write(render_verification_table(report.records) + "\n")
+    summary = report.to_dict()["summary"]
+    out.write("summary:\n")
+    for key in sorted(summary):
+        out.write(f"  {key}: {summary[key]}\n")
+    out.write(
+        f"timing: {report.elapsed_s:.2f}s wall "
+        f"({report.cached}/{len(specs)} verdicts cached, "
+        f"{report.computed} verified, {report.jobs} workers)\n"
+    )
+    if args.save:
+        path = Path(args.save) / f"verify-{args.scale}.json"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
+            handle.write("\n")
+        out.write(f"saved {path}\n")
+    if not report.all_equivalent:
+        failed = ", ".join(str(r.get("circuit")) for r in report.failures)
+        out.write(f"FAILED equivalence: {failed}\n")
+        return 1
+    return 0
+
+
 def _cmd_report(args: argparse.Namespace, out) -> int:
     directory = Path(args.directory)
     paths = sorted(directory.glob("*.json"))
@@ -258,6 +348,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_list(args, out)
     if args.command == "run":
         return _cmd_run(args, out)
+    if args.command == "verify":
+        return _cmd_verify(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

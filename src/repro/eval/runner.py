@@ -28,6 +28,11 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from . import experiments
+from ..verify.campaign import (
+    VerificationReport,
+    VerificationSpec,
+    timed_verification_record,
+)
 from .engine import (
     ResultCache,
     SynthesisEngine,
@@ -337,6 +342,69 @@ class Runner:
         self.progress(
             f"[{experiment}] done in {elapsed:.2f}s "
             f"({report.cached_jobs} cached, {report.computed_jobs} synthesised)"
+        )
+        return report
+
+    def verify(self, specs: Sequence[VerificationSpec]) -> VerificationReport:
+        """Run a verification campaign over the worker pool.
+
+        Mirrors :meth:`run` for :class:`~repro.verify.campaign.VerificationSpec`
+        units: specs whose content-addressed key is already in the shared
+        result cache are replayed for free, the rest are computed on the
+        pool (synthesis + batched pulse verification per spec) and cached.
+        Records come back in spec order.
+        """
+        started = time.perf_counter()
+        records: Dict[str, Dict[str, object]] = {}
+        pending: List[VerificationSpec] = []
+        seen = set()
+        for spec in specs:
+            if spec.key() in seen:
+                continue
+            seen.add(spec.key())
+            cached = self.cache.get(spec) if self.cache is not None else None
+            if cached is not None:
+                records[spec.key()] = dict(cached)
+                self.progress(f"  cached      {spec.label()}")
+            else:
+                pending.append(spec)
+
+        def note(spec, record, seconds, index):
+            records[spec.key()] = dict(record)
+            if self.cache is not None:
+                self.cache.put(spec, record)
+            self.progress(
+                f"  [{index}/{len(pending)}] verified {spec.label()} "
+                f"[{record.get('status')}] ({seconds:.2f}s)"
+            )
+
+        if self.jobs == 1 or len(pending) == 1:
+            for index, spec in enumerate(pending, 1):
+                spec, record, seconds = timed_verification_record(spec)
+                note(spec, record, seconds, index)
+        elif pending:
+            self.progress(
+                f"  scheduling {len(pending)} verification jobs on {self.jobs} workers"
+            )
+            with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
+                for index, (spec, record, seconds) in enumerate(
+                    pool.imap(timed_verification_record, pending), 1
+                ):
+                    note(spec, record, seconds, index)
+
+        report = VerificationReport(
+            records=[records[spec.key()] for spec in specs],
+            scale=specs[0].scale if specs else "quick",
+            patterns=specs[0].patterns if specs else 0,
+            seed=specs[0].seed if specs else 0,
+            jobs=self.jobs,
+            computed=len(pending),
+            cached=max(0, len(records) - len(pending)),
+            elapsed_s=time.perf_counter() - started,
+        )
+        self.progress(
+            f"[verify] done in {report.elapsed_s:.2f}s "
+            f"({report.cached} cached, {report.computed} verified)"
         )
         return report
 

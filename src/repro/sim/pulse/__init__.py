@@ -13,11 +13,14 @@ from .elements import (
 )
 from .simulator import PulseSimulator, SimulationError
 from .xsfq_sim import (
+    BatchedNetlistSimulator,
     XsfqSimulationResult,
     build_simulator,
+    elaboration_count,
     reference_start_state,
     simulate_combinational,
     simulate_sequential,
+    suggest_phase_period,
 )
 
 __all__ = [
@@ -32,9 +35,12 @@ __all__ = [
     "SourceCell",
     "PulseSimulator",
     "SimulationError",
+    "BatchedNetlistSimulator",
     "build_simulator",
+    "elaboration_count",
     "simulate_combinational",
     "simulate_sequential",
+    "suggest_phase_period",
     "reference_start_state",
     "XsfqSimulationResult",
 ]

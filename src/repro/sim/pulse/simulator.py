@@ -29,6 +29,7 @@ class PulseSimulator:
         self._trace: Dict[str, List[float]] = defaultdict(list)
         self._queue: List[Tuple[float, int, str]] = []
         self._sequence = 0
+        self._dangling: set = set()
 
     # ------------------------------------------------------------------
     # Construction
@@ -76,11 +77,20 @@ class PulseSimulator:
                     self.schedule(net, time)
 
         while self._queue:
-            time, _, net = heapq.heappop(self._queue)
+            time, sequence, net = heapq.heappop(self._queue)
             if until is not None and time > until:
+                # Keep the event pending rather than silently dropping it:
+                # a later run() (or a larger ``until``) still observes it.
+                heapq.heappush(self._queue, (time, sequence, net))
                 break
             self._trace[net].append(time)
-            for element, port in self._sinks.get(net, []):
+            sinks = self._sinks.get(net)
+            if not sinks:
+                # The pulse is still recorded in the trace above; remember
+                # the net so verifiers can surface a dangling-net warning.
+                self._dangling.add(net)
+                continue
+            for element, port in sinks:
                 for out_net, out_time in element.on_pulse(port, time):
                     self._sequence += 1
                     heapq.heappush(self._queue, (out_time, self._sequence, out_net))
@@ -97,13 +107,26 @@ class PulseSimulator:
         """Number of pulses on ``net`` with ``start <= time < end``."""
         return sum(1 for t in self._trace.get(net, []) if start <= t < end)
 
+    def dangling_nets(self) -> List[str]:
+        """Nets that received pulses but have no registered sinks.
+
+        Externally observed nets (primary outputs, probes) legitimately
+        appear here; anything else usually indicates a mis-wired netlist.
+        """
+        return sorted(self._dangling)
+
+    def has_sinks(self, net: str) -> bool:
+        """True when at least one element input listens on ``net``."""
+        return bool(self._sinks.get(net))
+
     def elements_in_initial_state(self) -> bool:
         """True when every element reports its initial state (Table 1 check)."""
         return all(element.is_initial_state() for element in self.elements)
 
     def reset(self) -> None:
-        """Clear traces, pending events and element state."""
+        """Clear traces, pending events, dangling records and element state."""
         self._trace.clear()
         self._queue.clear()
+        self._dangling.clear()
         for element in self.elements:
             element.reset()

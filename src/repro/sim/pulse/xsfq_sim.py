@@ -5,10 +5,21 @@ produced by :mod:`repro.core` are elaborated into pulse elements, their
 primary inputs are driven with the alternating dual-rail encoding of
 Figure 1, DROC ranks are clocked (with the one-shot trigger of Section 3.2)
 and the primary outputs are decoded back into logical values, one per
-logical cycle.  The test-suite compares those decoded values against the
-cycle-accurate :class:`LogicNetwork` simulation of the original design,
+logical cycle.  The test-suite and :mod:`repro.verify` compare those decoded
+values against golden gate-level/AIG simulation of the original design,
 which closes the loop from RTL to pulses — the role PyLSE plays in the
 paper (Figure 7).
+
+The work-horse is :class:`BatchedNetlistSimulator`: the netlist is
+elaborated into pulse elements **once** and then driven with any number of
+stimulus batches — hundreds of combinational patterns ride in a single
+event-queue run (one logical cycle each), and sequential trajectories reuse
+the elaborated elements across runs via :meth:`PulseSimulator.reset`.  The
+module-level :func:`simulate_combinational` / :func:`simulate_sequential`
+helpers are thin one-batch wrappers kept for convenience and backwards
+compatibility.  :func:`elaboration_count` exposes a process-wide counter of
+netlist elaborations so regression tests can assert that batched
+verification does not rebuild the simulator per pattern.
 
 Protocol summary (see the paper's Figures 1, 6 and 7):
 
@@ -17,12 +28,17 @@ Protocol summary (see the paper's Figures 1, 6 and 7):
   excite phase iff ``v = 1`` and its negative rail otherwise, with the
   mirrored pattern in the relax phase;
 * sequential designs receive one trigger phase before normal operation —
-  the preloaded DROC rank emits its stored 1s, which primes the downstream
-  LA/FA cells into their excite phase;
-* the architectural state visible in logical cycle 1 is therefore the
-  next-state function evaluated on that all-ones preload pattern, and the
-  design behaves like the original network initialised accordingly from
-  cycle 2 onward (the tests account for this start-up convention).
+  the preloaded DROC rank emits its stored pulses, which primes the
+  downstream LA/FA cells into their excite phase;
+* the architectural state visible in logical cycle 1 is recorded per latch
+  by the mapper (``SequentialMappingInfo.start_state``): a boundary DROC
+  capturing the positive rail of its next-state value starts at 1, one
+  capturing the negative rail starts at 0 (historically every capture was
+  positive, hence the all-ones convention of :func:`reference_start_state`);
+* retimed netlists register every cut-crossing signal in a mid-rank DROC;
+  input waves then need one extra phase to traverse that rank, so they are
+  driven ``XsfqNetlist.input_phase_lead`` phases early — aligned with the
+  start-up trigger — which keeps the output decode windows unchanged.
 """
 
 from __future__ import annotations
@@ -41,10 +57,21 @@ from .elements import (
     JtlCell,
     LaCell,
     MergerCell,
-    PulseElement,
     SplitterCell,
 )
 from .simulator import PulseSimulator, SimulationError
+
+#: Process-wide count of netlist elaborations (see :func:`elaboration_count`).
+_ELABORATIONS = 0
+
+
+def elaboration_count() -> int:
+    """How many times :func:`build_simulator` elaborated a netlist.
+
+    Regression tests snapshot this before and after a batched verification
+    run to assert that N patterns cost one elaboration, not N.
+    """
+    return _ELABORATIONS
 
 
 @dataclass
@@ -57,12 +84,16 @@ class XsfqSimulationResult:
         phase_period: Phase length used (ps).
         all_cells_reinitialised: Whether every LA/FA cell was back in its
             initial state when the simulation ended (the Table 1 property).
+        dangling_nets: Nets that pulsed but have no consuming element —
+            primary outputs legitimately appear here; anything else points
+            at a mis-wired netlist (see ``repro.verify``).
     """
 
     outputs: List[Dict[str, int]]
     trace: Dict[str, List[float]]
     phase_period: float
     all_cells_reinitialised: bool
+    dangling_nets: List[str] = field(default_factory=list)
 
 
 def build_simulator(
@@ -74,6 +105,8 @@ def build_simulator(
     cells (the preloaded rank listens on the merged clock+trigger net when
     the netlist carries a trigger merger).
     """
+    global _ELABORATIONS
+    _ELABORATIONS += 1
     library = library or default_library()
     simulator = PulseSimulator()
     droc_clock_nets: List[str] = []
@@ -106,6 +139,19 @@ def build_simulator(
         else:
             raise SimulationError(f"cell kind {cell.kind} is not supported by the pulse simulator")
     return simulator, droc_clock_nets
+
+
+def suggest_phase_period(
+    netlist: XsfqNetlist, library: Optional[XsfqLibrary] = None
+) -> float:
+    """A safe synchronous phase length for a netlist (picoseconds).
+
+    Every wave must settle through the worst combinational segment well
+    inside one phase, so the period is sized from the netlist's critical
+    path delay with generous margin (never below the historical 500 ps).
+    """
+    delay = netlist.critical_path_delay(library or default_library())
+    return max(500.0, 1.5 * delay + 50.0)
 
 
 def _input_rail_nets(pi_name: str) -> Tuple[str, str]:
@@ -164,132 +210,249 @@ def _decode_output(
     return value if rail is Rail.POS else 1 - value
 
 
+class BatchedNetlistSimulator:
+    """Elaborate a netlist once and pulse-simulate many stimulus batches.
+
+    Combinational netlists process a whole batch of input patterns in a
+    single event-queue run (one logical cycle per pattern — the alternating
+    protocol returns every LA/FA cell to its initial state between cycles,
+    so consecutive patterns cannot interfere).  Sequential netlists process
+    one multi-cycle trajectory per run, reusing the elaborated elements via
+    :meth:`PulseSimulator.reset` between trajectories.  Either way the
+    elaboration cost is paid exactly once, which is what makes catalog-wide
+    verification campaigns (:mod:`repro.verify`) affordable.
+
+    Attributes:
+        phase_period: Synchronous phase length in ps.  Defaults to
+            :func:`suggest_phase_period`, which scales with the netlist's
+            critical path so deep designs settle inside one phase.
+        elaborations: Number of netlist elaborations performed (always 1).
+        batches_run / patterns_run: Cumulative usage statistics.
+    """
+
+    def __init__(
+        self,
+        netlist: XsfqNetlist,
+        library: Optional[XsfqLibrary] = None,
+        phase_period: Optional[float] = None,
+    ) -> None:
+        self.netlist = netlist
+        self.library = library or default_library()
+        self.simulator, self._droc_clocks = build_simulator(netlist, self.library)
+        self.is_sequential = bool(self._droc_clocks)
+        self.phase_period = (
+            float(phase_period)
+            if phase_period is not None
+            else suggest_phase_period(netlist, self.library)
+        )
+        self.input_phase_lead = int(getattr(netlist, "input_phase_lead", 0))
+        self.elaborations = 1
+        self.batches_run = 0
+        self.patterns_run = 0
+        self._pi_names = sorted(
+            {
+                port.rsplit("_", 1)[0]
+                for port in netlist.input_ports
+                if port not in netlist.clock_nets and port not in netlist.trigger_nets
+            }
+        )
+        self._constant_nets = _constant_nets(netlist)
+        self._output_nets = {port.net for port in netlist.output_ports}
+        self._driven_nets = {net for cell in netlist.cells for net in cell.outputs}
+
+    # ------------------------------------------------------------------
+    # Decode windows
+    # ------------------------------------------------------------------
+    def cycle_window(self, cycle: int) -> Tuple[float, float]:
+        """The excite-phase time window in which cycle ``cycle`` is decoded."""
+        period = self.phase_period
+        first = 2 * cycle + 1 if self.is_sequential else 2 * cycle
+        return first * period, (first + 1) * period
+
+    def decode_net(
+        self,
+        trace: Mapping[str, Sequence[float]],
+        net: str,
+        rail: Rail,
+        cycle: int,
+    ) -> int:
+        """Decode the logical value a net carried during one cycle."""
+        start, end = self.cycle_window(cycle)
+        return _decode_output(trace, net, rail, start, end)
+
+    def unexpected_dangling_nets(self) -> List[str]:
+        """Cell-driven dangling pulsed nets that are *not* primary outputs.
+
+        Primary outputs are observed externally, so pulses on them are
+        supposed to reach no element, and stimulus pulses on unused input
+        rails never enter the netlist at all; but a *cell output* pulsing
+        into the void is surfaced by the verifier as a netlist-hygiene
+        warning (DROC complement branches are the known-benign case).
+        """
+        return [
+            net
+            for net in self.simulator.dangling_nets()
+            if net not in self._output_nets and net in self._driven_nets
+        ]
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_combinational(
+        self, input_vectors: Sequence[Mapping[str, int]]
+    ) -> XsfqSimulationResult:
+        """Simulate one batch of combinational patterns, one per logical cycle."""
+        if self.is_sequential:
+            raise SimulationError("netlist contains storage cells; use run_sequence")
+        period = self.phase_period
+        self.simulator.reset()
+        stimulus: Dict[str, List[float]] = {}
+        for cycle, vector in enumerate(input_vectors):
+            excite_start = (2 * cycle) * period
+            relax_start = (2 * cycle + 1) * period
+            for pi in self._pi_names:
+                value = int(bool(vector.get(pi, 0)))
+                _drive_input(stimulus, pi, value, excite_start, relax_start, offset=1.0)
+            _drive_constants(stimulus, self._constant_nets, excite_start, relax_start, offset=1.0)
+
+        total_time = 2 * len(input_vectors) * period + period
+        trace = self.simulator.run(stimulus, until=total_time)
+
+        outputs: List[Dict[str, int]] = []
+        for cycle in range(len(input_vectors)):
+            window_start, window_end = self.cycle_window(cycle)
+            outputs.append(
+                {
+                    port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
+                    for port in self.netlist.output_ports
+                }
+            )
+        self.batches_run += 1
+        self.patterns_run += len(input_vectors)
+        return XsfqSimulationResult(
+            outputs=outputs,
+            trace=trace,
+            phase_period=period,
+            all_cells_reinitialised=self.simulator.elements_in_initial_state(),
+            dangling_nets=self.simulator.dangling_nets(),
+        )
+
+    def run_sequence(
+        self, input_vectors: Sequence[Mapping[str, int]]
+    ) -> XsfqSimulationResult:
+        """Simulate one multi-cycle trajectory of a sequential netlist.
+
+        The stimulus follows the paper's start-up protocol: one trigger
+        phase (clocking only the preloaded DROC rank), then two clocked
+        phases per logical cycle.  ``input_vectors[k]`` supplies the PI
+        values of logical cycle ``k``.  Repeated calls reuse the elaborated
+        elements — state is cleared with :meth:`PulseSimulator.reset`.
+        """
+        if not self.is_sequential:
+            raise SimulationError("netlist has no storage cells; use run_combinational")
+        period = self.phase_period
+        netlist = self.netlist
+        self.simulator.reset()
+
+        stimulus: Dict[str, List[float]] = {}
+        # Start-up: the trigger pulse clocks only the preloaded rank (through
+        # the merged clock+trigger net) during phase 0, emitting the
+        # preloaded start state.
+        if netlist.trigger_nets:
+            stimulus.setdefault(TRIGGER_NET, []).append(1.0)
+        # Regular clock pulses at every subsequent phase boundary.
+        num_phases = 2 * len(input_vectors) + 2
+        for phase in range(1, num_phases + 1):
+            stimulus.setdefault(CLOCK_NET, []).append(phase * period + 1.0)
+
+        # Primary inputs.  Logical cycle c occupies the phase pair
+        # (2c+1, 2c+2): the excite phase starts one phase after the trigger
+        # so the PI rails stay aligned with the state rails emitted by the
+        # DROCs.  Retimed netlists drive the inputs ``input_phase_lead``
+        # phases early — their waves spend that extra phase crossing the
+        # mid-rank registers, re-aligning with the state rails above the cut.
+        lead = self.input_phase_lead
+        for cycle, vector in enumerate(input_vectors):
+            excite_start = (2 * cycle + 1 - lead) * period
+            relax_start = (2 * cycle + 2 - lead) * period
+            for pi in self._pi_names:
+                value = int(bool(vector.get(pi, 0)))
+                _drive_input(stimulus, pi, value, excite_start, relax_start, offset=5.0)
+            _drive_constants(stimulus, self._constant_nets, excite_start, relax_start, offset=5.0)
+
+        total_time = (num_phases + 2) * period
+        trace = self.simulator.run(stimulus, until=total_time)
+
+        outputs: List[Dict[str, int]] = []
+        for cycle in range(len(input_vectors)):
+            window_start, window_end = self.cycle_window(cycle)
+            outputs.append(
+                {
+                    port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
+                    for port in netlist.output_ports
+                }
+            )
+        self.batches_run += 1
+        self.patterns_run += len(input_vectors)
+        return XsfqSimulationResult(
+            outputs=outputs,
+            trace=trace,
+            phase_period=period,
+            all_cells_reinitialised=self.simulator.elements_in_initial_state(),
+            dangling_nets=self.simulator.dangling_nets(),
+        )
+
+
 def simulate_combinational(
     netlist: XsfqNetlist,
     input_vectors: Sequence[Mapping[str, int]],
-    phase_period: float = 500.0,
+    phase_period: Optional[float] = None,
     library: Optional[XsfqLibrary] = None,
 ) -> XsfqSimulationResult:
-    """Pulse-simulate a clock-free combinational xSFQ netlist.
+    """Pulse-simulate a clock-free combinational xSFQ netlist (one batch).
 
     Each entry of ``input_vectors`` supplies one logical cycle's primary
     input values (by original PI name); the result carries one decoded
-    output dictionary per logical cycle.
+    output dictionary per logical cycle.  ``phase_period`` defaults to
+    :func:`suggest_phase_period`.  For many batches over the same netlist,
+    hold a :class:`BatchedNetlistSimulator` instead of calling this in a
+    loop — this helper re-elaborates the netlist on every call.
     """
-    simulator, droc_clocks = build_simulator(netlist, library)
-    if droc_clocks:
+    sim = BatchedNetlistSimulator(netlist, library=library, phase_period=phase_period)
+    if sim.is_sequential:
         raise SimulationError("netlist contains storage cells; use simulate_sequential")
-
-    pi_names = sorted({port.rsplit("_", 1)[0] for port in netlist.input_ports})
-    constant_nets = _constant_nets(netlist)
-    stimulus: Dict[str, List[float]] = {}
-    for cycle, vector in enumerate(input_vectors):
-        excite_start = (2 * cycle) * phase_period
-        relax_start = (2 * cycle + 1) * phase_period
-        for pi in pi_names:
-            value = int(bool(vector.get(pi, 0)))
-            _drive_input(stimulus, pi, value, excite_start, relax_start, offset=1.0)
-        _drive_constants(stimulus, constant_nets, excite_start, relax_start, offset=1.0)
-
-    total_time = 2 * len(input_vectors) * phase_period + phase_period
-    trace = simulator.run(stimulus, until=total_time)
-
-    outputs: List[Dict[str, int]] = []
-    for cycle in range(len(input_vectors)):
-        window_start = (2 * cycle) * phase_period
-        window_end = (2 * cycle + 1) * phase_period
-        decoded = {
-            port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
-            for port in netlist.output_ports
-        }
-        outputs.append(decoded)
-    return XsfqSimulationResult(
-        outputs=outputs,
-        trace=trace,
-        phase_period=phase_period,
-        all_cells_reinitialised=simulator.elements_in_initial_state(),
-    )
+    return sim.run_combinational(input_vectors)
 
 
 def simulate_sequential(
     netlist: XsfqNetlist,
     input_vectors: Sequence[Mapping[str, int]],
-    phase_period: float = 500.0,
+    phase_period: Optional[float] = None,
     library: Optional[XsfqLibrary] = None,
 ) -> XsfqSimulationResult:
-    """Pulse-simulate a sequential xSFQ netlist (DROC pairs, trigger, clock).
-
-    The stimulus follows the paper's start-up protocol: one trigger phase
-    (clocking only the preloaded DROC rank), then two clocked phases per
-    logical cycle.  ``input_vectors[k]`` supplies the PI values of logical
-    cycle ``k``; the same values are also presented during the start-up
-    phase pair so the first architectural state is well defined.
+    """Pulse-simulate a sequential xSFQ netlist (one multi-cycle trajectory).
 
     Decoded outputs are reported per logical cycle, starting with cycle 0 =
-    the first excite/relax pair after start-up.
+    the first excite/relax pair after start-up.  See
+    :meth:`BatchedNetlistSimulator.run_sequence` for the protocol details
+    and batching.
     """
-    simulator, droc_clocks = build_simulator(netlist, library)
-    if not droc_clocks:
+    sim = BatchedNetlistSimulator(netlist, library=library, phase_period=phase_period)
+    if not sim.is_sequential:
         raise SimulationError("netlist has no storage cells; use simulate_combinational")
-
-    pi_names = sorted(
-        {
-            port.rsplit("_", 1)[0]
-            for port in netlist.input_ports
-            if port not in netlist.clock_nets and port not in netlist.trigger_nets
-        }
-    )
-
-    stimulus: Dict[str, List[float]] = {}
-    # Start-up: the trigger pulse clocks only the preloaded rank (through the
-    # merged clock+trigger net) during phase 0, emitting the preloaded 1s.
-    trigger_time = 1.0
-    if netlist.trigger_nets:
-        stimulus.setdefault(TRIGGER_NET, []).append(trigger_time)
-    # Regular clock pulses at every subsequent phase boundary.
-    num_phases = 2 * len(input_vectors) + 2
-    for phase in range(1, num_phases + 1):
-        stimulus.setdefault(CLOCK_NET, []).append(phase * phase_period + 1.0)
-
-    # Primary inputs.  Logical cycle c occupies the phase pair
-    # (2c+1, 2c+2): the excite phase starts one phase after the trigger so
-    # the PI rails stay aligned with the state rails emitted by the DROCs.
-    constant_nets = _constant_nets(netlist)
-    for cycle, vector in enumerate(input_vectors):
-        excite_start = (2 * cycle + 1) * phase_period
-        relax_start = (2 * cycle + 2) * phase_period
-        for pi in pi_names:
-            value = int(bool(vector.get(pi, 0)))
-            _drive_input(stimulus, pi, value, excite_start, relax_start, offset=5.0)
-        _drive_constants(stimulus, constant_nets, excite_start, relax_start, offset=5.0)
-
-    total_time = (num_phases + 2) * phase_period
-    trace = simulator.run(stimulus, until=total_time)
-
-    outputs: List[Dict[str, int]] = []
-    for cycle in range(len(input_vectors)):
-        window_start = (2 * cycle + 1) * phase_period
-        window_end = (2 * cycle + 2) * phase_period
-        decoded = {
-            port.name: _decode_output(trace, port.net, port.rail, window_start, window_end)
-            for port in netlist.output_ports
-        }
-        outputs.append(decoded)
-    return XsfqSimulationResult(
-        outputs=outputs,
-        trace=trace,
-        phase_period=phase_period,
-        all_cells_reinitialised=simulator.elements_in_initial_state(),
-    )
+    return sim.run_sequence(input_vectors)
 
 
 def reference_start_state(latch_names: Sequence[str]) -> Dict[str, int]:
-    """The architectural state the preload/trigger start-up establishes.
+    """The classic all-ones architectural start state.
 
-    The preloaded DROC rank emits logical 1s during the trigger phase, so
-    the state visible to the first logical cycle is the next-state function
-    evaluated on an all-ones present state (see the module docstring).  The
-    reference :class:`LogicNetwork` simulation therefore starts from the
-    all-ones state when comparing against the pulse-level run.
+    Historically every boundary DROC captured the positive rail of its
+    next-state function, so the preload/trigger start-up established an
+    all-ones state.  Mappings that capture a negative rail start the
+    corresponding latch at 0; prefer
+    ``SequentialMappingInfo.start_state`` (carried on
+    ``XsfqSynthesisResult.sequential_info``) which records the exact state
+    per latch.  This helper is kept for circuits known to use positive
+    captures only (e.g. the Figure 7 counter).
     """
     return {name: 1 for name in latch_names}

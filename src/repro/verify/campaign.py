@@ -1,0 +1,275 @@
+"""Catalog-wide verification campaigns on the eval execution engine.
+
+A :class:`VerificationSpec` is the verification analogue of
+:class:`repro.eval.engine.SynthesisJob`: a declarative, picklable unit —
+circuit name, scale, the flow's canonical signature, and the stimulus
+parameters (pattern budget, seed, trajectory length).  Its
+content-addressed :meth:`~VerificationSpec.key` is what the shared
+:class:`repro.eval.engine.ResultCache` stores verdict records under, so a
+warm cache replays an entire catalog campaign with zero re-synthesis and
+zero re-simulation, and ``multiprocessing`` workers in
+:meth:`repro.eval.runner.Runner.verify` never compute the same spec
+twice.
+
+:func:`verification_record` is the worker-process entry point: build the
+catalogued circuit, run the flow (reusing the in-process stage cache),
+verify the mapped netlist against the *source network* — an end-to-end
+check of the whole synthesis stack — and flatten the verdict to JSON.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..circuits import build as build_circuit
+from ..circuits import info as circuit_info
+from ..circuits import names as circuit_names
+from ..core import Flow, get_stage_cache
+from ..core.report import format_table
+from .equivalence import VerificationVerdict, verify_result
+
+__all__ = [
+    "VerificationReport",
+    "VerificationSpec",
+    "catalog_specs",
+    "render_verification_table",
+    "timed_verification_record",
+    "verification_record",
+]
+
+#: Bumped when the verdict record layout changes incompatibly.
+VERIFY_SCHEMA = 1
+
+#: A flow signature as stored on a spec (same shape as SynthesisJob.stages).
+StageSignature = Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...]
+
+
+def _package_version() -> str:
+    from .. import __version__
+
+    return __version__
+
+
+@dataclass(frozen=True)
+class VerificationSpec:
+    """One schedulable, cacheable verification unit.
+
+    Attributes:
+        circuit: Name from :mod:`repro.circuits.registry`.
+        scale: ``"quick"`` or ``"paper"`` circuit dimensions.
+        stages: Canonical flow signature of the synthesis under test.
+        patterns: Stimulus pattern budget.
+        seed: Stimulus seed.
+        sequence_length: Cycles per trajectory (sequential circuits).
+    """
+
+    circuit: str
+    scale: str = "quick"
+    stages: StageSignature = ()
+    patterns: int = 256
+    seed: int = 0
+    sequence_length: int = 8
+
+    @classmethod
+    def create(
+        cls,
+        circuit: str,
+        scale: str = "quick",
+        flow: Optional[Flow] = None,
+        patterns: int = 256,
+        seed: int = 0,
+        sequence_length: int = 8,
+    ) -> "VerificationSpec":
+        """Build a spec for a circuit under an arbitrary flow (default flow when omitted)."""
+        flow = flow if flow is not None else Flow.default()
+        return cls(
+            circuit=circuit,
+            scale=scale,
+            stages=flow.signature(),
+            patterns=int(patterns),
+            seed=int(seed),
+            sequence_length=int(sequence_length),
+        )
+
+    def flow(self) -> Flow:
+        """Reconstruct the runnable flow this spec verifies."""
+        return Flow.from_signature(self.stages) if self.stages else Flow.default()
+
+    def key(self) -> str:
+        """Content-addressed cache key: flow signature + stimulus identity."""
+        payload = {
+            "record": "verification",
+            "schema": VERIFY_SCHEMA,
+            "version": _package_version(),
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "flow": self.stages or Flow.default().signature(),
+            "patterns": self.patterns,
+            "seed": self.seed,
+            "sequence_length": self.sequence_length,
+        }
+        canonical = json.dumps(payload, sort_keys=True, default=str)
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+    def label(self) -> str:
+        return f"{self.circuit}@{self.scale} n={self.patterns} seed={self.seed}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "circuit": self.circuit,
+            "scale": self.scale,
+            "flow": [[name, dict(options)] for name, options in self.stages],
+            "patterns": self.patterns,
+            "seed": self.seed,
+            "sequence_length": self.sequence_length,
+        }
+
+
+def catalog_specs(
+    circuits: Optional[Sequence[str]] = None,
+    scale: str = "quick",
+    flow: Optional[Flow] = None,
+    patterns: int = 256,
+    seed: int = 0,
+    sequence_length: int = 8,
+) -> List[VerificationSpec]:
+    """Specs for a circuit subset (default: the whole registry catalog)."""
+    names = list(circuits) if circuits else circuit_names()
+    return [
+        VerificationSpec.create(
+            name,
+            scale=scale,
+            flow=flow,
+            patterns=patterns,
+            seed=seed,
+            sequence_length=sequence_length,
+        )
+        for name in names
+    ]
+
+
+def verification_record(spec: VerificationSpec) -> Dict[str, object]:
+    """Worker-process entry: synthesise, verify, flatten to a JSON record."""
+    info = circuit_info(spec.circuit)
+    network = build_circuit(spec.circuit, spec.scale)
+    synth_started = time.perf_counter()
+    result = spec.flow().run(network, stage_cache=get_stage_cache())
+    synth_seconds = time.perf_counter() - synth_started
+    verdict = verify_result(
+        result,
+        golden=network,
+        patterns=spec.patterns,
+        seed=spec.seed,
+        sequence_length=spec.sequence_length,
+    )
+    record = verdict.to_dict()
+    spec_fields = spec.to_dict()
+    # The verdict's "patterns" is the count actually verified (exhaustive
+    # suites finish in fewer than requested); keep it, and store the
+    # request under its own key instead of clobbering it.
+    record["requested_patterns"] = spec_fields.pop("patterns")
+    record.update(spec_fields)
+    record["kind"] = info.kind
+    record["suite"] = info.suite
+    record["synth_seconds"] = synth_seconds
+    return record
+
+
+def timed_verification_record(
+    spec: VerificationSpec,
+) -> Tuple[VerificationSpec, Dict[str, object], float]:
+    """Worker-pool wrapper: record plus the seconds it took to compute."""
+    started = time.perf_counter()
+    record = verification_record(spec)
+    return spec, record, time.perf_counter() - started
+
+
+@dataclass
+class VerificationReport:
+    """Everything one campaign produced (mirrors ``RunReport`` for verify).
+
+    Attributes:
+        records: One flattened verdict record per spec, in spec order.
+        scale: Circuit scale used.
+        patterns: Requested pattern budget.
+        seed: Stimulus seed.
+        jobs: Worker-pool width.
+        computed: Specs verified this run (cache misses).
+        cached: Specs replayed from the result cache.
+        elapsed_s: Wall clock for the whole campaign.
+    """
+
+    records: List[Dict[str, object]] = field(default_factory=list)
+    scale: str = "quick"
+    patterns: int = 256
+    seed: int = 0
+    jobs: int = 1
+    computed: int = 0
+    cached: int = 0
+    elapsed_s: float = 0.0
+
+    @property
+    def failures(self) -> List[Dict[str, object]]:
+        return [r for r in self.records if r.get("status") == "counterexample"]
+
+    @property
+    def all_equivalent(self) -> bool:
+        return not self.failures
+
+    def total_patterns(self) -> int:
+        return sum(int(r.get("patterns") or 0) for r in self.records)
+
+    def table(self) -> str:
+        return render_verification_table(self.records)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "experiment": "verify",
+            "scale": self.scale,
+            "patterns": self.patterns,
+            "seed": self.seed,
+            "jobs": self.jobs,
+            "computed": self.computed,
+            "cached": self.cached,
+            "elapsed_s": self.elapsed_s,
+            "rows": self.records,
+            # Rendered table, so `repro report` re-renders saved campaigns.
+            "text": self.table(),
+            "summary": {
+                "circuits": len(self.records),
+                "equivalent": sum(1 for r in self.records if r.get("status") == "equivalent"),
+                "counterexamples": len(self.failures),
+                "skipped": sum(1 for r in self.records if r.get("status") == "skipped"),
+                "total_patterns": self.total_patterns(),
+                "all_equivalent": self.all_equivalent,
+            },
+        }
+
+
+def render_verification_table(records: Sequence[Mapping[str, object]]) -> str:
+    """The ``repro verify`` summary table."""
+
+    def detail(record: Mapping[str, object]) -> str:
+        verdict = VerificationVerdict.from_dict(record)
+        return verdict.summary()
+
+    rows = [
+        [
+            record.get("circuit", "?"),
+            record.get("kind", "?"),
+            record.get("status", "?").upper(),
+            int(record.get("patterns") or 0),
+            int(record.get("elaborations") or 0),
+            f"{float(record.get('seconds') or 0.0):.2f}",
+            detail(record),
+        ]
+        for record in records
+    ]
+    return format_table(
+        ["Circuit", "Kind", "Status", "Patterns", "Elab", "Sim (s)", "Detail"],
+        rows,
+    )

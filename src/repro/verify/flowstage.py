@@ -1,0 +1,63 @@
+"""The ``verify`` stage: equivalence checking as a first-class flow step.
+
+Importing :mod:`repro.verify` registers a ``verify`` stage in the global
+:data:`repro.core.flowgraph.STAGES` registry, so any composed flow can
+end in a machine-checkable verdict::
+
+    flow = repro.Flow.default().with_stage("verify", {"patterns": 128})
+    state = flow.run_state(repro.build_circuit("c880"))
+    state.artifacts["verification"].equivalent   # -> True
+
+The stage verifies the mapped netlist against the best golden reference
+available in the :class:`~repro.core.flowgraph.FlowState`: the *source
+network* when the state still carries one (an end-to-end check of the
+whole flow), falling back to the mapped AIG when the run resumed from a
+cached mid-flow snapshot (which drops the source network) — then the
+check covers the mapping and netlist layers only.  The verdict travels
+in ``state.artifacts["verification"]`` (the object) and
+``state.metrics["verification"]`` (its JSON form); with ``strict`` (the
+default) a counterexample aborts the flow with a :class:`FlowError`
+naming the failing pattern and the first divergence net.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..core.flowgraph import FlowError, FlowState, register_stage
+from .equivalence import verify_result
+
+__all__ = ["verify_stage"]
+
+
+@register_stage(
+    "verify",
+    defaults={"patterns": 256, "seed": 0, "sequence_length": 8, "strict": True},
+    description="Batched pulse-level equivalence verdict against the golden design",
+)
+def verify_stage(state: FlowState, options: Mapping[str, object]) -> FlowState:
+    """Cross-check the mapped netlist against golden simulation."""
+    if state.result is None:
+        raise FlowError(
+            "'verify' needs a finished synthesis result; "
+            "place it after the 'report' stage"
+        )
+    golden = state.network  # None when resuming from a cached snapshot
+    verdict = verify_result(
+        state.result,
+        golden=golden,
+        patterns=int(options["patterns"]),
+        seed=int(options["seed"]),
+        sequence_length=int(options["sequence_length"]),
+    )
+    state = state.copy()
+    state.artifacts["verification"] = verdict
+    state.metrics["verification"] = verdict.to_dict()
+    state.metrics["verification_golden"] = (
+        "source-network" if golden is not None else "mapped-aig"
+    )
+    if bool(options["strict"]) and verdict.status == "counterexample":
+        raise FlowError(
+            f"verification failed for {state.name!r}: {verdict.summary()}"
+        )
+    return state

@@ -1,0 +1,174 @@
+"""Reproducible stimulus suites for pulse-level verification.
+
+A :class:`StimulusSuite` is a deterministic function of ``(input names,
+requested pattern count, seed)`` — nothing else.  The same arguments
+produce bit-identical vectors in any process on any platform (the
+generator is a seeded Mersenne twister), which is what lets the
+verification campaign key its content-addressed cache on the stimulus
+seed and fan work out across ``multiprocessing`` workers.
+
+Three pattern sources, in priority order:
+
+* **exhaustive** — when ``2**num_inputs`` fits inside the requested
+  pattern budget, every input assignment is enumerated and the suite is
+  a complete truth-table check;
+* **directed corners** — all-zeros, all-ones, one-hot and one-cold
+  (walking zero) patterns, the classic "edges of the input space" that
+  random sampling is slow to hit;
+* **seeded random** — uniform random assignments filling the remaining
+  budget, de-duplicated against everything generated before.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+__all__ = ["StimulusSuite", "stimulus_suite"]
+
+#: Input counts up to this size are candidates for exhaustive enumeration.
+MAX_EXHAUSTIVE_INPUTS = 16
+
+
+@dataclass(frozen=True)
+class StimulusSuite:
+    """An ordered, reproducible batch of input patterns.
+
+    Attributes:
+        inputs: Input names, in the order the vector bits are stored.
+        vectors: One tuple of 0/1 values per pattern, aligned with
+            ``inputs``.
+        seed: Seed the random fill was drawn from.
+        mode: ``"exhaustive"`` or ``"random+corners"``.
+    """
+
+    inputs: Tuple[str, ...]
+    vectors: Tuple[Tuple[int, ...], ...]
+    seed: int
+    mode: str
+
+    def __len__(self) -> int:
+        return len(self.vectors)
+
+    def as_dicts(self) -> List[Dict[str, int]]:
+        """The patterns as ``{input name: value}`` dictionaries."""
+        return [dict(zip(self.inputs, vector)) for vector in self.vectors]
+
+    def vector_dict(self, index: int) -> Dict[str, int]:
+        """One pattern as a ``{input name: value}`` dictionary."""
+        return dict(zip(self.inputs, self.vectors[index]))
+
+    def packed_words(self) -> Dict[str, int]:
+        """Pack the suite for word-parallel simulation.
+
+        Returns one integer per input whose bit ``i`` is the input's value
+        in pattern ``i`` — the layout
+        :func:`repro.aig.simulate.simulate_patterns` consumes.
+        """
+        words: Dict[str, int] = {name: 0 for name in self.inputs}
+        for index, vector in enumerate(self.vectors):
+            bit = 1 << index
+            for name, value in zip(self.inputs, vector):
+                if value:
+                    words[name] |= bit
+        return words
+
+    def sequences(self, length: int) -> Iterator[Tuple[Tuple[int, ...], ...]]:
+        """Split the suite into consecutive multi-cycle sequences.
+
+        Used for sequential circuits, where one *pattern* is one cycle of
+        a trajectory.  The final partial chunk (if any) is dropped so
+        every trajectory has equal length.
+        """
+        length = max(1, int(length))
+        for start in range(0, len(self.vectors) - length + 1, length):
+            yield self.vectors[start:start + length]
+
+    def fingerprint(self) -> str:
+        """Stable content hash (cache identity of the stimulus)."""
+        canonical = json.dumps(
+            {"inputs": self.inputs, "vectors": self.vectors, "seed": self.seed},
+            sort_keys=True,
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _corner_vectors(num_inputs: int) -> List[Tuple[int, ...]]:
+    """Directed corner patterns: all-0, all-1, one-hot and one-cold rows."""
+    corners: List[Tuple[int, ...]] = [
+        tuple([0] * num_inputs),
+        tuple([1] * num_inputs),
+    ]
+    for position in range(num_inputs):
+        one_hot = [0] * num_inputs
+        one_hot[position] = 1
+        corners.append(tuple(one_hot))
+        one_cold = [1] * num_inputs
+        one_cold[position] = 0
+        corners.append(tuple(one_cold))
+    return corners
+
+
+def stimulus_suite(
+    inputs: Sequence[str],
+    num_patterns: int = 256,
+    seed: int = 0,
+    allow_exhaustive: bool = True,
+) -> StimulusSuite:
+    """Generate a reproducible stimulus suite over named inputs.
+
+    Args:
+        inputs: Input names (order defines the vector layout).
+        num_patterns: Requested pattern budget.  When the full input space
+            fits (``2**len(inputs) <= num_patterns``), the suite is the
+            exhaustive enumeration instead — a complete check in fewer
+            patterns.
+        seed: Seed for the random fill; part of the suite identity.
+        allow_exhaustive: Disable the exhaustive shortcut.  Sequential
+            verification sets this to False — its patterns are *cycles* of
+            multi-cycle trajectories, so enumerating the input space once
+            would not exercise the state space and the full budget is
+            spent on random trajectories instead.
+
+    Returns:
+        A :class:`StimulusSuite` with at most ``num_patterns`` patterns.
+    """
+    names = tuple(inputs)
+    n = len(names)
+    num_patterns = max(1, int(num_patterns))
+    if allow_exhaustive and n <= MAX_EXHAUSTIVE_INPUTS and (1 << n) <= num_patterns:
+        vectors = tuple(
+            tuple((assignment >> k) & 1 for k in range(n))
+            for assignment in range(1 << n)
+        )
+        return StimulusSuite(names, vectors, seed=seed, mode="exhaustive")
+
+    seen = set()
+    vectors: List[Tuple[int, ...]] = []
+    for corner in _corner_vectors(n):
+        if len(vectors) >= num_patterns:
+            break
+        if corner not in seen:
+            seen.add(corner)
+            vectors.append(corner)
+    rng = random.Random(seed)
+    # Combinational suites de-duplicate (repeating an assignment verifies
+    # nothing new); trajectory suites (allow_exhaustive=False) keep the
+    # raw random stream — cycles of a sequential trajectory may and must
+    # repeat input vectors.  The attempt cap keeps the dedup loop finite
+    # when the budget approaches the size of the input space.
+    deduplicate = allow_exhaustive
+    attempts = 0
+    max_attempts = 64 * num_patterns
+    while len(vectors) < num_patterns and attempts < max_attempts:
+        attempts += 1
+        vector = tuple(rng.randint(0, 1) for _ in range(n))
+        if deduplicate:
+            if vector in seen:
+                continue
+            seen.add(vector)
+        vectors.append(vector)
+    return StimulusSuite(names, tuple(vectors), seed=seed, mode="random+corners")

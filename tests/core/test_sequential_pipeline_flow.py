@@ -60,10 +60,17 @@ class TestSequentialMapping:
         assert circuit_ghz > 0
         assert arch_ghz == pytest.approx(circuit_ghz / 2)
 
-    def test_sequential_costs_less_than_legacy_dro_quad(self, counter_result):
-        """The DROC-pair flip-flop must beat the original 4-DRO construction."""
+    def test_sequential_costs_less_than_legacy_dro_quad(self, counter_result_no_retime):
+        """The DROC-pair flip-flop must beat the original 4-DRO construction.
+
+        The paper's Figure 6i comparison is about the flip-flop construction
+        itself, i.e. the back-to-back DROC pair.  The retimed variant trades
+        extra mid-rank registers (one per cut-crossing signal, needed for
+        phase alignment) for balanced stage depths, so its storage cost is
+        not bounded by the per-flip-flop claim.
+        """
         lib = default_library(False)
-        plain, preloaded = counter_result.droc_counts
+        plain, preloaded = counter_result_no_retime.droc_counts
         droc_jj = plain * lib.jj_count(CellKind.DROC) + preloaded * lib.jj_count(CellKind.DROC_PRELOAD)
         assert droc_jj < legacy_dro_flipflop_cost(3, lib) + 3 * lib.jj_count(CellKind.DROC)
 

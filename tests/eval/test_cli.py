@@ -45,6 +45,32 @@ def test_parse_rejects_bad_choices():
         cli.parse_args([])  # a subcommand is required
 
 
+def test_parse_verify_defaults():
+    args = cli.parse_args(["verify"])
+    assert args.command == "verify"
+    assert not args.catalog and args.circuit is None  # no subset = whole catalog
+    assert args.patterns == 256 and args.seed == 0 and args.sequence_length == 8
+    assert args.scale == "quick" and args.effort == "medium" and args.jobs == 1
+
+
+def test_parse_verify_flags():
+    args = cli.parse_args(
+        [
+            "verify", "--circuit", "c880", "--circuit", "s27",
+            "--patterns", "64", "--seed", "9", "--sequence-length", "4",
+            "--effort", "low", "-j", "3", "--no-cache", "-q",
+        ]
+    )
+    assert args.circuit == ["c880", "s27"]
+    assert args.patterns == 64 and args.seed == 9 and args.sequence_length == 4
+    assert args.effort == "low" and args.jobs == 3 and args.no_cache and args.quiet
+
+
+def test_parse_verify_catalog_and_circuit_conflict():
+    with pytest.raises(SystemExit):
+        cli.parse_args(["verify", "--catalog", "--circuit", "c880"])
+
+
 def test_parse_list_and_report():
     assert cli.parse_args(["list"]).command == "list"
     assert cli.parse_args(["list", "--circuits"]).circuits is True
@@ -144,3 +170,26 @@ def test_run_save_and_report_roundtrip(capsys, tmp_path):
 def test_report_empty_directory(capsys, tmp_path):
     assert cli.main(["report", str(tmp_path)]) == 1
     assert "no saved reports" in capsys.readouterr().out
+
+
+def test_verify_single_circuit_and_cache_replay(capsys, tmp_path):
+    cache = tmp_path / "cache"
+    results = tmp_path / "results"
+    argv = [
+        "verify", "--circuit", "ctrl", "--patterns", "32", "--effort", "low",
+        "--cache-dir", str(cache), "--save", str(results), "-q",
+    ]
+    assert cli.main(argv) == 0
+    out = capsys.readouterr().out
+    assert "EQUIVALENT" in out and "all_equivalent: True" in out
+    assert "0/1 verdicts cached, 1 verified" in out
+    assert (results / "verify-quick.json").exists()
+
+    assert cli.main(argv[:-3] + ["-q"]) == 0  # warm cache, no --save
+    replay = capsys.readouterr().out
+    assert "1/1 verdicts cached, 0 verified" in replay
+
+
+def test_verify_rejects_unknown_circuit(capsys):
+    with pytest.raises(SystemExit, match="unknown circuit"):
+        cli.main(["verify", "--circuit", "nope", "--no-cache", "-q"])

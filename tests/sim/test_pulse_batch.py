@@ -1,0 +1,171 @@
+"""Batched pulse simulation and simulator-core edge cases.
+
+Covers the pulse-simulator behaviours the verification subsystem depends
+on: deterministic tie-breaking of simultaneous pulses, fan-out ordering,
+empty stimulus, dangling-net recording, non-destructive ``until`` cut-off,
+and — the headline property — that a :class:`BatchedNetlistSimulator`
+verifies hundreds of patterns on a single netlist elaboration.
+"""
+
+import itertools
+
+import pytest
+
+from repro.core import FlowOptions, synthesize_xsfq
+from repro.eval import counter_network, full_adder_network
+from repro.sim.pulse import (
+    BatchedNetlistSimulator,
+    FaCell,
+    LaCell,
+    MergerCell,
+    PulseSimulator,
+    SimulationError,
+    SplitterCell,
+    elaboration_count,
+    simulate_combinational,
+    suggest_phase_period,
+)
+
+
+class TestSimulatorEdgeCases:
+    def test_simultaneous_pulses_processed_in_schedule_order(self):
+        """Events at the same time tie-break FIFO on scheduling order."""
+        sim = PulseSimulator()
+        order = []
+
+        class Probe(FaCell):
+            def on_pulse(self, port, time):
+                order.append(self.inputs[port])
+                return super().on_pulse(port, time)
+
+        sim.add_element(Probe("fa", ["a", "b"], ["q"], 1.0))
+        sim.schedule("b", 5.0)
+        sim.schedule("a", 5.0)
+        sim.run()
+        assert order == ["b", "a"]  # exactly the scheduling order, not name order
+
+    def test_fanout_ordering_is_deterministic(self):
+        """A split pulse reaches sinks in registration order at equal times."""
+        sim = PulseSimulator()
+        hits = []
+
+        class Probe(MergerCell):
+            def on_pulse(self, port, time):
+                hits.append((self.name, port))
+                return super().on_pulse(port, time)
+
+        sim.add_element(SplitterCell("s", ["in"], ["x", "x"], 1.0))
+        sim.add_element(Probe("m1", ["x", "unused1"], ["o1"], 1.0))
+        sim.add_element(Probe("m2", ["x", "unused2"], ["o2"], 1.0))
+        sim.run({"in": [0.0]})
+        # Both splitter branches land on net "x" at the same time; each
+        # delivery fans out to the sinks in their registration order.
+        assert hits == [("m1", 0), ("m2", 0), ("m1", 0), ("m2", 0)]
+
+    def test_empty_stimulus_runs_dry(self):
+        sim = PulseSimulator()
+        sim.add_element(LaCell("la", ["a", "b"], ["q"], 1.0))
+        trace = sim.run()
+        assert trace == {}
+        assert sim.elements_in_initial_state()
+
+    def test_pulses_on_sinkless_nets_are_traced_and_flagged(self):
+        """A pulse into the void is recorded, not silently dropped."""
+        sim = PulseSimulator()
+        sim.add_element(SplitterCell("s", ["in"], ["used", "nowhere"], 1.0))
+        sim.add_element(MergerCell("m", ["used", "aux"], ["out"], 1.0))
+        trace = sim.run({"in": [0.0]})
+        assert trace["nowhere"] == [1.0]
+        assert "nowhere" in sim.dangling_nets()
+        assert "used" not in sim.dangling_nets()
+        assert "out" in sim.dangling_nets()  # nothing consumes the output
+
+    def test_until_cutoff_keeps_late_events_pending(self):
+        """Events beyond ``until`` stay queued instead of being dropped."""
+        sim = PulseSimulator()
+        sim.add_element(SplitterCell("s", ["in"], ["x", "y"], 10.0))
+        first = sim.run({"in": [1.0]}, until=5.0)
+        assert "x" not in first or not first["x"]
+        resumed = sim.run(until=20.0)
+        assert resumed["x"] == [11.0] and resumed["y"] == [11.0]
+
+    def test_reset_clears_dangling_records(self):
+        sim = PulseSimulator()
+        sim.add_element(SplitterCell("s", ["in"], ["a", "b"], 1.0))
+        sim.run({"in": [0.0]})
+        assert sim.dangling_nets()
+        sim.reset()
+        assert sim.dangling_nets() == []
+
+
+class TestBatchedSimulation:
+    @pytest.fixture(scope="class")
+    def fa_result(self):
+        return synthesize_xsfq(full_adder_network(), FlowOptions(effort="high"))
+
+    def test_many_patterns_single_elaboration(self, fa_result):
+        """>= 256 patterns must cost exactly one netlist elaboration."""
+        vectors = [
+            dict(zip(("a", "b", "cin"), bits))
+            for bits in itertools.product((0, 1), repeat=3)
+        ] * 32  # 256 patterns
+        before = elaboration_count()
+        sim = BatchedNetlistSimulator(fa_result.netlist)
+        run = sim.run_combinational(vectors)
+        assert elaboration_count() - before == 1
+        assert sim.elaborations == 1
+        assert sim.patterns_run == len(run.outputs) == 256
+
+        reference = full_adder_network()
+        for vector, outputs in zip(vectors, run.outputs):
+            expected, _ = reference.evaluate(vector)
+            assert outputs == {"s": expected["s"], "cout": expected["cout"]}
+
+    def test_repeated_batches_reuse_the_elaboration(self, fa_result):
+        before = elaboration_count()
+        sim = BatchedNetlistSimulator(fa_result.netlist)
+        for _ in range(5):
+            sim.run_combinational([{"a": 1, "b": 1, "cin": 1}])
+        assert elaboration_count() - before == 1
+        assert sim.batches_run == 5
+
+    def test_empty_batch(self, fa_result):
+        sim = BatchedNetlistSimulator(fa_result.netlist)
+        run = sim.run_combinational([])
+        assert run.outputs == []
+
+    def test_sequential_trajectories_share_the_elaboration(self):
+        network = counter_network(2)
+        result = synthesize_xsfq(network, FlowOptions(effort="medium"))
+        before = elaboration_count()
+        sim = BatchedNetlistSimulator(result.netlist)
+        start = result.sequential_info.start_state
+        for _ in range(3):
+            run = sim.run_sequence([{"en": 1}] * 4)
+            state = dict(start)
+            for vector, outputs in zip([{"en": 1}] * 4, run.outputs):
+                expected, state = network.evaluate(vector, state)
+                assert outputs == {name: expected[name] for name in outputs}
+        assert elaboration_count() - before == 1
+
+    def test_wrong_entry_points_raise(self, fa_result):
+        comb = BatchedNetlistSimulator(fa_result.netlist)
+        with pytest.raises(SimulationError):
+            comb.run_sequence([{"a": 1}])
+        seq_result = synthesize_xsfq(counter_network(2), FlowOptions(effort="low"))
+        seq = BatchedNetlistSimulator(seq_result.netlist)
+        with pytest.raises(SimulationError):
+            seq.run_combinational([{"en": 1}])
+
+    def test_phase_period_scales_with_critical_path(self, fa_result):
+        period = suggest_phase_period(fa_result.netlist)
+        assert period >= 500.0
+        assert period >= fa_result.netlist.critical_path_delay()
+        explicit = BatchedNetlistSimulator(fa_result.netlist, phase_period=750.0)
+        assert explicit.phase_period == 750.0
+
+    def test_legacy_wrapper_elaborates_per_call(self, fa_result):
+        before = elaboration_count()
+        simulate_combinational(fa_result.netlist, [{"a": 1, "b": 0, "cin": 0}])
+        simulate_combinational(fa_result.netlist, [{"a": 1, "b": 0, "cin": 0}])
+        assert elaboration_count() - before == 2

@@ -1,0 +1,90 @@
+"""Stimulus-suite tests: exhaustiveness, corners, reproducibility."""
+
+import multiprocessing
+
+from repro.verify import StimulusSuite, stimulus_suite
+from repro.verify.stimulus import _corner_vectors
+
+
+class TestExhaustive:
+    def test_small_input_space_is_enumerated(self):
+        suite = stimulus_suite(["a", "b", "c"], num_patterns=256, seed=3)
+        assert suite.mode == "exhaustive"
+        assert len(suite) == 8
+        assert sorted(set(suite.vectors)) == sorted(suite.vectors)  # all distinct
+        assert set(suite.vectors) == {
+            (a, b, c) for a in (0, 1) for b in (0, 1) for c in (0, 1)
+        }
+
+    def test_budget_caps_exhaustive(self):
+        suite = stimulus_suite([f"i{k}" for k in range(10)], num_patterns=256, seed=0)
+        assert suite.mode == "random+corners"
+        assert len(suite) == 256
+
+    def test_exhaustive_can_be_disabled(self):
+        suite = stimulus_suite(["a", "b"], num_patterns=16, seed=0, allow_exhaustive=False)
+        assert suite.mode == "random+corners"
+        assert len(suite) == 16  # repeats allowed: trajectory cycles may recur
+
+
+class TestCorners:
+    def test_directed_corners_lead_the_random_suite(self):
+        names = [f"i{k}" for k in range(12)]
+        suite = stimulus_suite(names, num_patterns=64, seed=1)
+        n = len(names)
+        assert suite.vectors[0] == tuple([0] * n)
+        assert suite.vectors[1] == tuple([1] * n)
+        corners = set(_corner_vectors(n))
+        assert corners <= set(suite.vectors[: len(corners)])
+
+    def test_random_fill_is_deduplicated(self):
+        suite = stimulus_suite([f"i{k}" for k in range(9)], num_patterns=200, seed=5)
+        assert len(set(suite.vectors)) == len(suite.vectors)
+
+
+class TestReproducibility:
+    def test_same_arguments_same_suite(self):
+        a = stimulus_suite([f"i{k}" for k in range(20)], num_patterns=128, seed=42)
+        b = stimulus_suite([f"i{k}" for k in range(20)], num_patterns=128, seed=42)
+        assert a == b
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seeds_differ(self):
+        a = stimulus_suite([f"i{k}" for k in range(20)], num_patterns=128, seed=0)
+        b = stimulus_suite([f"i{k}" for k in range(20)], num_patterns=128, seed=1)
+        assert a.fingerprint() != b.fingerprint()
+        assert a.vectors != b.vectors
+
+    def test_reproducible_across_process_boundaries(self):
+        """Workers regenerate bit-identical suites from (inputs, n, seed)."""
+        local = stimulus_suite([f"i{k}" for k in range(18)], num_patterns=96, seed=7)
+        with multiprocessing.Pool(2) as pool:
+            remote = pool.map(_suite_fingerprint_worker, [7, 7, 8])
+        assert remote[0] == remote[1] == local.fingerprint()
+        assert remote[2] != local.fingerprint()
+
+
+def _suite_fingerprint_worker(seed: int) -> str:
+    return stimulus_suite(
+        [f"i{k}" for k in range(18)], num_patterns=96, seed=seed
+    ).fingerprint()
+
+
+class TestAccessors:
+    def test_packed_words_round_trip(self):
+        suite = stimulus_suite(["x", "y"], num_patterns=4, seed=0)
+        words = suite.packed_words()
+        for index, vector in enumerate(suite.vectors):
+            for name, value in zip(suite.inputs, vector):
+                assert (words[name] >> index) & 1 == value
+
+    def test_vector_dicts(self):
+        suite = stimulus_suite(["x", "y"], num_patterns=4, seed=0)
+        assert suite.as_dicts()[0] == suite.vector_dict(0)
+        assert set(suite.vector_dict(0)) == {"x", "y"}
+
+    def test_sequences_drop_ragged_tail(self):
+        suite = StimulusSuite(("a",), ((0,), (1,), (0,), (1,), (1,)), seed=0, mode="random+corners")
+        chunks = list(suite.sequences(2))
+        assert len(chunks) == 2
+        assert all(len(chunk) == 2 for chunk in chunks)
