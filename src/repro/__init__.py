@@ -13,6 +13,8 @@ The package is organised as a synthesis framework:
 * :mod:`repro.verify` — pulse-accurate equivalence verification: batched
   stimulus suites, the ``verify`` flow stage and catalog-wide campaigns;
 * :mod:`repro.circuits` — benchmark circuit generators;
+* :mod:`repro.gen` — seeded random-circuit families and differential
+  fuzzing campaigns (``repro fuzz``) judged by the verification oracle;
 * :mod:`repro.eval` — parallel experiment engine reproducing the paper's
   tables and figures (also exposed as the ``repro`` command-line tool).
 
@@ -30,7 +32,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from .core import (  # noqa: E402
     Flow,
@@ -46,8 +48,11 @@ from .core import (  # noqa: E402
     XsfqNetlist,
     XsfqSynthesisResult,
     default_library,
+    flow_variant,
+    flow_variant_names,
     format_waveform,
     get_stage_cache,
+    register_flow_variant,
     register_stage,
     set_stage_cache,
     synthesize_xsfq,
@@ -63,6 +68,14 @@ from .sim.pulse import (  # noqa: E402
     BatchedNetlistSimulator,
     simulate_combinational,
     simulate_sequential,
+)
+from .gen import (  # noqa: E402
+    FAMILIES,
+    FuzzCampaign,
+    FuzzReport,
+    GenSpec,
+    generate_specs,
+    shrink_network,
 )
 from .verify import (  # noqa: E402  - also registers the 'verify' stage
     StimulusSuite,
@@ -101,6 +114,9 @@ __all__ = [
     "register_stage",
     "get_stage_cache",
     "set_stage_cache",
+    "flow_variant",
+    "flow_variant_names",
+    "register_flow_variant",
     "XsfqLibrary",
     "XsfqNetlist",
     "default_library",
@@ -120,6 +136,13 @@ __all__ = [
     "BatchedNetlistSimulator",
     "simulate_combinational",
     "simulate_sequential",
+    # Random-circuit generation and fuzzing
+    "FAMILIES",
+    "GenSpec",
+    "generate_specs",
+    "FuzzCampaign",
+    "FuzzReport",
+    "shrink_network",
     # Verification
     "StimulusSuite",
     "stimulus_suite",

@@ -279,10 +279,24 @@ def names(suite: Optional[str] = None, kind: Optional[str] = None) -> List[str]:
 
 
 def info(name: str) -> CircuitInfo:
-    """Catalogue entry for ``name`` (raises ``KeyError`` for unknown names)."""
-    return CATALOG[name]
+    """Catalogue entry for ``name`` (raises ``KeyError`` for unknown names).
+
+    Names using the generated-circuit grammar (``gen:<family>:...:s<seed>``,
+    see :mod:`repro.gen.spec`) are self-describing: when absent from the
+    catalogue they resolve to a synthetic entry on the fly, so any process
+    — including ``multiprocessing`` workers replaying a fuzz campaign —
+    can build them from the name alone, without shared registry state.
+    """
+    entry = CATALOG.get(name)
+    if entry is not None:
+        return entry
+    if name.startswith("gen:"):
+        from ..gen.spec import resolve  # late import: gen depends on this module
+
+        return resolve(name)
+    raise KeyError(name)
 
 
 def build(name: str, scale: str = "quick") -> LogicNetwork:
     """Build the stand-in circuit for a catalogued benchmark name."""
-    return CATALOG[name].build(scale)
+    return info(name).build(scale)

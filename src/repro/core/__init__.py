@@ -62,6 +62,7 @@ from .pipeline import PipelineResult, pipeline_clock_frequencies, pipeline_combi
 from .flow import FlowOptions, XsfqSynthesisResult, synthesize_xsfq
 from .flowgraph import (
     DEFAULT_STAGE_ORDER,
+    FLOW_VARIANTS,
     Flow,
     FlowError,
     FlowState,
@@ -71,7 +72,10 @@ from .flowgraph import (
     StageEvent,
     TimingObserver,
     design_fingerprint,
+    flow_variant,
+    flow_variant_names,
     get_stage_cache,
+    register_flow_variant,
     register_stage,
     render_stage_table,
     set_stage_cache,
@@ -135,6 +139,10 @@ __all__ = [
     "Stage",
     "STAGES",
     "DEFAULT_STAGE_ORDER",
+    "FLOW_VARIANTS",
+    "flow_variant",
+    "flow_variant_names",
+    "register_flow_variant",
     "StageCache",
     "StageEvent",
     "TimingObserver",

@@ -77,11 +77,15 @@ from .sequential import SequentialMappingInfo, map_sequential
 
 __all__ = [
     "DEFAULT_STAGE_ORDER",
+    "FLOW_VARIANTS",
     "Flow",
     "FlowError",
     "FlowState",
     "Stage",
     "STAGES",
+    "flow_variant",
+    "flow_variant_names",
+    "register_flow_variant",
     "register_stage",
     "resolve_stage",
     "render_stage_table",
@@ -1053,3 +1057,64 @@ class Flow:
         so already-executed stages are skipped, not re-run.
         """
         return self.run_state(state, observers=observers, stage_cache=stage_cache)
+
+
+# ---------------------------------------------------------------------------
+# Named flow variants
+# ---------------------------------------------------------------------------
+
+#: Named flow factories: ``{name: (factory, description)}``.  Variants are
+#: factories (not Flow instances) so each caller gets a fresh composition
+#: and late-registered stages/passes are picked up at build time.
+FLOW_VARIANTS: Dict[str, Tuple[Callable[[], "Flow"], str]] = {}
+
+
+def register_flow_variant(
+    name: str, factory: Callable[[], "Flow"], description: str = ""
+) -> None:
+    """Register (or replace) a named flow variant.
+
+    Variants are the enumerable flow compositions that campaign tooling
+    — ``repro fuzz`` differential runs, ablation sweeps — iterates over.
+    """
+    FLOW_VARIANTS[name] = (factory, description)
+
+
+def flow_variant(name: str) -> "Flow":
+    """Build a fresh flow for a registered variant name."""
+    try:
+        factory, _ = FLOW_VARIANTS[name]
+    except KeyError:
+        known = ", ".join(sorted(FLOW_VARIANTS))
+        raise FlowError(f"unknown flow variant {name!r}; known: {known}") from None
+    return factory()
+
+
+def flow_variant_names() -> List[str]:
+    """Registered variant names, sorted."""
+    return sorted(FLOW_VARIANTS)
+
+
+register_flow_variant(
+    "default", Flow.default,
+    "the paper's full flow (medium effort, polarity optimisation, retiming)",
+)
+register_flow_variant(
+    "direct", Flow.direct_mapping,
+    "Section 3.1.1 direct mapping: a full LA-FA pair per AIG node",
+)
+register_flow_variant(
+    "positive",
+    lambda: Flow.from_options(FlowOptions(optimize_polarity=False)),
+    "positive-polarity mapping (no output phase assignment)",
+)
+register_flow_variant(
+    "no-retime",
+    lambda: Flow.from_options(FlowOptions(retime=False)),
+    "sequential mapping without DROC retiming (paired storage ranks)",
+)
+register_flow_variant(
+    "unopt",
+    lambda: Flow.from_options(FlowOptions(effort="none")),
+    "no AIG optimisation: maps the structurally hashed frontend AIG",
+)

@@ -1,10 +1,11 @@
 """``repro`` — the operator CLI for reproducing the paper's evaluation.
 
-Four subcommands::
+Five subcommands::
 
     repro list                 # what can be reproduced, and with what
     repro run table4 --jobs 4  # reproduce artefacts on a worker pool
     repro verify --catalog     # pulse-level equivalence campaign
+    repro fuzz --budget 200    # differential fuzzing on generated circuits
     repro report results/      # re-render previously saved run reports
 
 ``repro run`` accepts one or more experiment names (or ``all``), executes
@@ -21,6 +22,10 @@ stage cache reuses the optimised AIG across them).
 hundreds of stimulus patterns per circuit at the pulse level against
 word-parallel golden AIG simulation, caching verdicts in the same
 content-addressed store; see ``docs/verification.md`` and ``docs/cli.md``.
+
+``repro fuzz`` manufactures seeded random circuits (``repro.gen``) and
+differentially verifies each one under several flow variants, shrinking
+any failure to a minimal reproducer; see ``docs/fuzzing.md``.
 """
 
 from __future__ import annotations
@@ -117,6 +122,54 @@ def build_parser() -> argparse.ArgumentParser:
                             help="also write verify-<scale>.json into DIR")
     verify_cmd.add_argument("-q", "--quiet", action="store_true",
                             help="suppress per-circuit progress lines")
+
+    from ..core import flow_variant_names
+    from ..gen import DEFAULT_FLOWS, FAMILIES
+
+    fuzz_cmd = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generated circuits x flow variants",
+    )
+    fuzz_cmd.add_argument("--budget", type=int, default=100, metavar="N",
+                          help="random circuits to generate (default: 100)")
+    fuzz_cmd.add_argument("--seed", type=int, default=0, metavar="S",
+                          help="master seed deriving every circuit's "
+                               "(family, params, seed) (default: 0)")
+    fuzz_cmd.add_argument("--family", action="append", metavar="F", default=None,
+                          choices=sorted(FAMILIES),
+                          help=f"restrict to a circuit family (repeatable); "
+                               f"one of: {', '.join(sorted(FAMILIES))}")
+    fuzz_cmd.add_argument("--flows", nargs="+", metavar="NAME",
+                          default=list(DEFAULT_FLOWS),
+                          choices=flow_variant_names(),
+                          help=f"flow variants to cross every circuit with "
+                               f"(default: {' '.join(DEFAULT_FLOWS)}; known: "
+                               f"{', '.join(flow_variant_names())})")
+    fuzz_cmd.add_argument("--replay", metavar="NAME", default=None,
+                          help="re-verify one generated circuit from its "
+                               "printed gen:<family>:<params>:s<seed> name "
+                               "instead of generating a batch")
+    fuzz_cmd.add_argument("--patterns", type=int, default=64, metavar="N",
+                          help="stimulus patterns per verification (default: 64)")
+    fuzz_cmd.add_argument("--stimulus-seed", type=int, default=0, metavar="S",
+                          help="stimulus suite seed (default: 0)")
+    fuzz_cmd.add_argument("--sequence-length", type=int, default=8, metavar="L",
+                          help="cycles per trajectory for sequential circuits "
+                               "(default: 8)")
+    fuzz_cmd.add_argument("--no-shrink", action="store_true",
+                          help="skip counterexample shrinking on failures")
+    fuzz_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                          help="worker processes (default: 1)")
+    fuzz_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="result cache directory (default: REPRO_CACHE_DIR "
+                               "or ~/.cache/repro-xsfq)")
+    fuzz_cmd.add_argument("--no-cache", action="store_true",
+                          help="disable the on-disk verdict cache")
+    fuzz_cmd.add_argument("--save", default=None, metavar="DIR",
+                          help="also write fuzz-<seed>.json (records, shrunk "
+                               "reproducers) into DIR")
+    fuzz_cmd.add_argument("-q", "--quiet", action="store_true",
+                          help="suppress per-unit progress lines")
 
     report_cmd = sub.add_parser(
         "report", help="re-render saved JSON run reports",
@@ -269,6 +322,20 @@ def _write_summary(report: RunReport, out) -> None:
     )
 
 
+def _print_summary_dict(summary, out) -> None:
+    out.write("summary:\n")
+    for key in sorted(summary):
+        out.write(f"  {key}: {summary[key]}\n")
+
+
+def _save_report_json(data, path: Path, out) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    out.write(f"saved {path}\n")
+
+
 def _cmd_verify(args: argparse.Namespace, out) -> int:
     from ..core import Flow, FlowOptions
     from ..verify import catalog_specs, render_verification_table
@@ -297,25 +364,88 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
     report = runner.verify(specs)
     out.write(render_verification_table(report.records) + "\n")
-    summary = report.to_dict()["summary"]
-    out.write("summary:\n")
-    for key in sorted(summary):
-        out.write(f"  {key}: {summary[key]}\n")
+    _print_summary_dict(report.to_dict()["summary"], out)
     out.write(
         f"timing: {report.elapsed_s:.2f}s wall "
         f"({report.cached}/{len(specs)} verdicts cached, "
         f"{report.computed} verified, {report.jobs} workers)\n"
     )
     if args.save:
-        path = Path(args.save) / f"verify-{args.scale}.json"
-        path.parent.mkdir(parents=True, exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
-            handle.write("\n")
-        out.write(f"saved {path}\n")
+        _save_report_json(
+            report.to_dict(), Path(args.save) / f"verify-{args.scale}.json", out
+        )
     if not report.all_equivalent:
         failed = ", ".join(str(r.get("circuit")) for r in report.failures)
         out.write(f"FAILED equivalence: {failed}\n")
+        return 1
+    return 0
+
+
+def _cmd_fuzz(args: argparse.Namespace, out) -> int:
+    from ..gen import FuzzCampaign, parse_name, replay_line
+    from ..gen.fuzz import units_for_replay
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    campaign = FuzzCampaign(
+        budget=args.budget,
+        seed=args.seed,
+        families=tuple(args.family or ()),
+        flows=tuple(args.flows),
+        patterns=args.patterns,
+        sequence_length=args.sequence_length,
+        stimulus_seed=args.stimulus_seed,
+    )
+    units = None
+    if args.replay is not None:
+        try:
+            parse_name(args.replay)
+        except (ValueError, KeyError) as exc:
+            raise SystemExit(f"repro: bad --replay name: {exc}")
+        units = units_for_replay(
+            args.replay,
+            campaign.flows,
+            patterns=campaign.patterns,
+            stimulus_seed=campaign.stimulus_seed,
+            sequence_length=campaign.sequence_length,
+        )
+        out.write(
+            f"=== fuzz replay: {args.replay} ({len(units)} flow variants) ===\n"
+        )
+    else:
+        out.write(
+            f"=== fuzz: budget {campaign.budget}, seed {campaign.seed}, "
+            f"flows {', '.join(campaign.flows)} ===\n"
+        )
+
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    report = runner.fuzz(campaign, units=units, shrink=not args.no_shrink)
+    out.write(report.table() + "\n")
+    _print_summary_dict(report.summary(), out)
+    out.write(
+        f"timing: {report.elapsed_s:.2f}s wall "
+        f"({report.cached} verdicts cached, {report.computed} verified, "
+        f"{report.jobs} workers)\n"
+    )
+    if args.save:
+        _save_report_json(report.to_dict(), Path(args.save) / f"fuzz-{args.seed}.json", out)
+    if not report.all_equivalent:
+        out.write("FAILED equivalence on:\n")
+        for record in report.failures:
+            out.write(f"  {replay_line(record)}\n")
+            key = f"{record.get('circuit')}|{record.get('flow_variant')}"
+            shrunk = report.shrunk.get(key)
+            if shrunk:
+                out.write(
+                    f"    shrunk {shrunk['initial_gates']} -> "
+                    f"{shrunk['final_gates']} gates; minimal reproducer:\n"
+                )
+                for line in str(shrunk["bench"]).rstrip().splitlines():
+                    out.write(f"      {line}\n")
         return 1
     return 0
 
@@ -350,6 +480,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_run(args, out)
     if args.command == "verify":
         return _cmd_verify(args, out)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -28,6 +28,7 @@ from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from . import experiments
+from ..gen.fuzz import FuzzCampaign, FuzzReport, FuzzUnit, shrink_unit
 from ..verify.campaign import (
     VerificationReport,
     VerificationSpec,
@@ -345,16 +346,20 @@ class Runner:
         )
         return report
 
-    def verify(self, specs: Sequence[VerificationSpec]) -> VerificationReport:
-        """Run a verification campaign over the worker pool.
+    def _run_verification_specs(
+        self,
+        specs: Sequence[VerificationSpec],
+        describe: Callable[[VerificationSpec], str],
+        verb: str = "verified",
+    ) -> Tuple[Dict[str, Dict[str, object]], int, int]:
+        """Shared campaign scheduler for ``verify`` and ``fuzz``.
 
-        Mirrors :meth:`run` for :class:`~repro.verify.campaign.VerificationSpec`
-        units: specs whose content-addressed key is already in the shared
-        result cache are replayed for free, the rest are computed on the
-        pool (synthesis + batched pulse verification per spec) and cached.
-        Records come back in spec order.
+        De-duplicates specs by content-addressed key, replays what the
+        result cache already holds, computes the rest — serially or on a
+        ``multiprocessing`` pool — and caches every fresh verdict.
+
+        Returns ``(records by spec key, computed count, cached count)``.
         """
-        started = time.perf_counter()
         records: Dict[str, Dict[str, object]] = {}
         pending: List[VerificationSpec] = []
         seen = set()
@@ -365,7 +370,7 @@ class Runner:
             cached = self.cache.get(spec) if self.cache is not None else None
             if cached is not None:
                 records[spec.key()] = dict(cached)
-                self.progress(f"  cached      {spec.label()}")
+                self.progress(f"  cached      {describe(spec)}")
             else:
                 pending.append(spec)
 
@@ -374,7 +379,7 @@ class Runner:
             if self.cache is not None:
                 self.cache.put(spec, record)
             self.progress(
-                f"  [{index}/{len(pending)}] verified {spec.label()} "
+                f"  [{index}/{len(pending)}] {verb} {describe(spec)} "
                 f"[{record.get('status')}] ({seconds:.2f}s)"
             )
 
@@ -391,20 +396,109 @@ class Runner:
                     pool.imap(timed_verification_record, pending), 1
                 ):
                     note(spec, record, seconds, index)
+        return records, len(pending), max(0, len(seen) - len(pending))
 
+    def verify(self, specs: Sequence[VerificationSpec]) -> VerificationReport:
+        """Run a verification campaign over the worker pool.
+
+        Mirrors :meth:`run` for :class:`~repro.verify.campaign.VerificationSpec`
+        units: specs whose content-addressed key is already in the shared
+        result cache are replayed for free, the rest are computed on the
+        pool (synthesis + batched pulse verification per spec) and cached.
+        Records come back in spec order.
+        """
+        started = time.perf_counter()
+        records, computed, cached = self._run_verification_specs(
+            specs, lambda spec: spec.label()
+        )
         report = VerificationReport(
             records=[records[spec.key()] for spec in specs],
             scale=specs[0].scale if specs else "quick",
             patterns=specs[0].patterns if specs else 0,
             seed=specs[0].seed if specs else 0,
             jobs=self.jobs,
-            computed=len(pending),
-            cached=max(0, len(records) - len(pending)),
+            computed=computed,
+            cached=cached,
             elapsed_s=time.perf_counter() - started,
         )
         self.progress(
             f"[verify] done in {report.elapsed_s:.2f}s "
             f"({report.cached} cached, {report.computed} verified)"
+        )
+        return report
+
+    def fuzz(
+        self,
+        campaign: FuzzCampaign,
+        units: Optional[Sequence[FuzzUnit]] = None,
+        shrink: bool = True,
+    ) -> FuzzReport:
+        """Run a differential fuzzing campaign over the worker pool.
+
+        Every :class:`~repro.gen.fuzz.FuzzUnit` — one generated circuit
+        under one flow variant — is a
+        :class:`~repro.verify.campaign.VerificationSpec`, so scheduling,
+        caching and worker-process execution are exactly the ``verify``
+        path: cached verdicts replay for free, the rest fan out across
+        the pool.  Generated circuits are rebuilt in workers from their
+        self-describing names (no registry state is shipped).  Failing
+        units are then shrunk **in-process** to 1-minimal reproducers
+        (``shrink=False`` skips that, e.g. for pure triage runs).
+
+        Args:
+            campaign: The campaign identity (also determines the units
+                when ``units`` is omitted).
+            units: Pre-built unit list overriding ``campaign.units()``
+                (used by ``repro fuzz --replay``).
+            shrink: Minimise failing circuits after the campaign.
+        """
+        started = time.perf_counter()
+        unit_list = list(units) if units is not None else campaign.units()
+        by_key: Dict[str, FuzzUnit] = {}
+        for unit in unit_list:
+            by_key.setdefault(unit.spec.key(), unit)
+        records, computed, cached = self._run_verification_specs(
+            [unit.spec for unit in unit_list],
+            lambda spec: f"{spec.label()} flow={by_key[spec.key()].flow_name}",
+            verb="fuzzed",
+        )
+        report = FuzzReport(
+            campaign=campaign,
+            records=[
+                unit.annotate(records[unit.spec.key()]) for unit in unit_list
+            ],
+            jobs=self.jobs,
+            computed=computed,
+            cached=cached,
+        )
+        if shrink:
+            for record in report.failures:
+                # Find the unit that produced this record (records keep
+                # unit order, so match on circuit + flow variant).
+                unit = next(
+                    u
+                    for u in unit_list
+                    if u.spec.circuit == record.get("circuit")
+                    and u.flow_name == record.get("flow_variant")
+                )
+                self.progress(
+                    f"  shrinking {unit.spec.circuit} flow={unit.flow_name} ..."
+                )
+                result = shrink_unit(
+                    unit.gen,
+                    unit.flow_name,
+                    patterns=unit.spec.patterns,
+                    stimulus_seed=unit.spec.seed,
+                    sequence_length=unit.spec.sequence_length,
+                )
+                if result is not None:
+                    report.attach_shrink(record, result)
+                    self.progress(f"    {result.summary()}")
+        report.elapsed_s = time.perf_counter() - started
+        self.progress(
+            f"[fuzz] done in {report.elapsed_s:.2f}s "
+            f"({report.cached} cached, {report.computed} verified, "
+            f"{len(report.failures)} failures)"
         )
         return report
 

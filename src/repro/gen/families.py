@@ -1,0 +1,356 @@
+"""Seeded random-circuit families.
+
+Every family is a pure function ``(params..., seed) -> LogicNetwork``
+whose output is **bit-identical across processes and platforms** for the
+same arguments: the only randomness source is a ``random.Random(seed)``
+instance, iteration orders are fixed, and signal names are generated
+deterministically.  That property is what lets the fuzzing campaign key
+its content-addressed verdict cache on ``(family, params, seed)`` and
+replay any failure from the one line the CLI prints.
+
+Three families, mirroring the three circuit kinds the synthesis flow has
+to handle:
+
+* :func:`random_dag` — random combinational DAGs over the
+  :class:`~repro.netlist.network.LogicNetwork` gate alphabet (AND, NAND,
+  OR, NOR, XOR, XNOR, NOT, MUX);
+* :func:`arith_mutant` — a ripple-carry adder/comparator slice with a
+  configurable number of random *mutations* (gate-type swaps, fanin
+  swaps, inverter insertions), probing the arithmetic structures the
+  optimiser rewrites most aggressively;
+* :func:`random_fsm` — random Mealy/Moore machines with configurable
+  state/input/output widths, whose next-state and output logic is a
+  random combinational cloud over inputs and present state.
+
+Families are registered in :data:`FAMILIES`; :mod:`repro.gen.spec` turns
+``(family, params, seed)`` triples into catalogued circuits.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Tuple
+
+from ..netlist.network import GateType, LogicNetwork, NetworkBuilder
+
+__all__ = [
+    "FAMILIES",
+    "FamilyInfo",
+    "arith_mutant",
+    "family_info",
+    "random_dag",
+    "random_fsm",
+    "register_family",
+]
+
+#: Two-input gate alphabet used by the random cloud builders.
+_BINARY_OPS: Tuple[GateType, ...] = (
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+)
+
+
+def _random_cloud(
+    b: NetworkBuilder,
+    rng: random.Random,
+    sources: List[str],
+    gates: int,
+) -> List[str]:
+    """Grow ``gates`` random combinational gates over ``sources``.
+
+    Returns the pool of every signal created (sources included), in
+    creation order.  Later gates may consume earlier gates, so the cloud
+    is a DAG with growing depth; a mild bias towards recent signals keeps
+    the logic from degenerating into parallel two-level trees.
+    """
+    pool = list(sources)
+
+    def pick(exclude: str = "") -> str:
+        # Bias towards the most recent quarter of the pool.
+        if len(pool) > 4 and rng.random() < 0.5:
+            candidates = pool[-max(4, len(pool) // 4):]
+        else:
+            candidates = pool
+        name = rng.choice(candidates)
+        if name == exclude and len(pool) > 1:
+            others = [p for p in candidates if p != exclude] or [p for p in pool if p != exclude]
+            name = rng.choice(others)
+        return name
+
+    for _ in range(gates):
+        roll = rng.random()
+        if roll < 0.10:
+            pool.append(b.not_(pick()))
+        elif roll < 0.18:
+            sel, d0 = pick(), pick()
+            d1 = pick(exclude=d0)
+            pool.append(b.mux(sel, d0, d1))
+        else:
+            op = rng.choice(_BINARY_OPS)
+            a = pick()
+            pool.append(b._gate(op, [a, pick(exclude=a)], None))
+    return pool
+
+
+def _pick_outputs(
+    b: NetworkBuilder,
+    rng: random.Random,
+    pool: List[str],
+    num_sources: int,
+    outputs: int,
+) -> None:
+    """Expose ``outputs`` signals as primary outputs named ``o<k>``.
+
+    Prefers the deepest (most recently created) signals so outputs
+    exercise real logic cones; falls back to shallow signals only when
+    the cloud is smaller than the requested output count.
+    """
+    created = pool[num_sources:]
+    candidates = list(reversed(created)) + list(pool[:num_sources])
+    seen = set()
+    chosen: List[str] = []
+    for name in candidates:
+        if name in seen:
+            continue
+        seen.add(name)
+        chosen.append(name)
+        if len(chosen) == outputs:
+            break
+    rng.shuffle(chosen)
+    for k, signal in enumerate(chosen):
+        b.output(signal, f"o{k}")
+
+
+def random_dag(
+    inputs: int = 6,
+    outputs: int = 3,
+    gates: int = 24,
+    seed: int = 0,
+) -> LogicNetwork:
+    """Random combinational DAG over the LogicNetwork gate alphabet.
+
+    Args:
+        inputs: Primary inputs (named ``i0..``).
+        outputs: Primary outputs (named ``o0..``), drawn from the deepest
+            signals of the cloud.
+        gates: Random gates to grow over the inputs.
+        seed: The only randomness source; same arguments, same netlist.
+    """
+    rng = random.Random(seed)
+    b = NetworkBuilder(f"dag{inputs}x{outputs}")
+    pis = [b.input(f"i{k}") for k in range(max(1, inputs))]
+    pool = _random_cloud(b, rng, pis, max(1, gates))
+    _pick_outputs(b, rng, pool, len(pis), max(1, outputs))
+    return b.finish()
+
+
+#: Mutable two-input gate types arith_mutant may swap between.
+_SWAP_GROUP: Tuple[GateType, ...] = _BINARY_OPS
+
+
+def arith_mutant(
+    width: int = 4,
+    mutations: int = 2,
+    seed: int = 0,
+) -> LogicNetwork:
+    """A ripple-adder/comparator slice with random structural mutations.
+
+    Builds a ``width``-bit ripple-carry adder plus an equality comparator
+    over the operands, then applies ``mutations`` random edits: swap a
+    two-input gate's type within the AND/OR/XOR group, swap a gate's
+    fanin order, or insert an inverter on one fanin.  Mutants are valid
+    circuits by construction (the golden oracle is the mutated network
+    itself), but their near-arithmetic shape drives the optimiser's
+    rewriting passes down unusual paths.
+    """
+    rng = random.Random(seed)
+    b = NetworkBuilder(f"arith{width}")
+    a_word = [b.input(f"a{k}") for k in range(max(1, width))]
+    b_word = [b.input(f"b{k}") for k in range(max(1, width))]
+    cin = b.input("cin")
+    sums, carry = b.ripple_adder(a_word, b_word, cin)
+    eq_bits = [b.xnor(x, y) for x, y in zip(a_word, b_word)]
+    equal = b.and_(*eq_bits) if len(eq_bits) > 1 else eq_bits[0]
+    network = b.network
+
+    # Mutate before declaring outputs so inserted inverters stay internal.
+    mutable = [
+        g.name
+        for g in network.gates.values()
+        if g.gate_type in _SWAP_GROUP and len(g.fanins) == 2
+    ]
+    for _ in range(max(0, mutations)):
+        if not mutable:
+            break
+        gate = network.gates[rng.choice(mutable)]
+        edit = rng.random()
+        if edit < 0.45:
+            choices = [t for t in _SWAP_GROUP if t is not gate.gate_type]
+            gate.gate_type = rng.choice(choices)
+        elif edit < 0.75:
+            gate.fanins = [gate.fanins[1], gate.fanins[0]]
+        else:
+            victim = rng.randrange(2)
+            gate.fanins[victim] = b.not_(gate.fanins[victim])
+
+    for k, signal in enumerate(sums):
+        b.output(signal, f"o{k}")
+    b.output(carry, f"o{len(sums)}")
+    b.output(equal, f"o{len(sums) + 1}")
+    return b.finish()
+
+
+def random_fsm(
+    state: int = 3,
+    inputs: int = 2,
+    outputs: int = 2,
+    gates: int = 18,
+    seed: int = 0,
+    moore: bool = False,
+) -> LogicNetwork:
+    """Random Mealy (default) or Moore machine.
+
+    Args:
+        state: Flip-flop count; initial values are random (seeded).
+        inputs: Primary inputs.
+        outputs: Primary outputs.
+        gates: Random gates in the next-state/output cloud.
+        seed: The only randomness source.
+        moore: When True, outputs are functions of the present state
+            only; Mealy outputs may also read the primary inputs.
+    """
+    rng = random.Random(seed)
+    kind = "moore" if moore else "mealy"
+    b = NetworkBuilder(f"{kind}{state}s{inputs}i")
+    pis = [b.input(f"i{k}") for k in range(max(1, inputs))]
+    regs = [
+        b.dff(b.const(0), name=f"q{k}", init=rng.randint(0, 1))
+        for k in range(max(1, state))
+    ]
+    pool = _random_cloud(b, rng, pis + regs, max(1, gates))
+    created = pool[len(pis) + len(regs):] or pool
+
+    # Next-state: each flip-flop samples a random cloud signal.
+    for reg in regs:
+        b.network.gates[reg].fanins = [rng.choice(created)]
+
+    if moore:
+        # Moore outputs read the state only: a small dedicated cloud.
+        moore_pool = _random_cloud(b, rng, list(regs), max(1, outputs))
+        source = moore_pool[len(regs):] or list(regs)
+    else:
+        source = created
+    seen = set()
+    chosen: List[str] = []
+    for name in reversed(source):
+        if name not in seen:
+            seen.add(name)
+            chosen.append(name)
+        if len(chosen) == max(1, outputs):
+            break
+    while len(chosen) < max(1, outputs):
+        chosen.append(rng.choice(source))
+    for k, signal in enumerate(chosen):
+        b.output(signal, f"o{k}")
+    return b.finish()
+
+
+# ---------------------------------------------------------------------------
+# Family registry
+# ---------------------------------------------------------------------------
+
+FamilyFn = Callable[..., LogicNetwork]
+
+
+@dataclass(frozen=True)
+class FamilyInfo:
+    """Registry entry for one random-circuit family.
+
+    Attributes:
+        name: Family key (also the middle token of generated names).
+        fn: The generator; keyword parameters plus ``seed``.
+        kind: ``"combinational"`` or ``"sequential"``.
+        defaults: Full parameter namespace with default values (``seed``
+            excluded); specs may only override these keys.
+        fuzz_ranges: Per-parameter ``(lo, hi)`` inclusive integer ranges
+            the campaign generator draws from (booleans are drawn from
+            0/1 ranges).
+        description: One-line human description.
+    """
+
+    name: str
+    fn: FamilyFn
+    kind: str
+    defaults: Tuple[Tuple[str, object], ...]
+    fuzz_ranges: Tuple[Tuple[str, Tuple[int, int]], ...]
+    description: str = ""
+
+
+FAMILIES: Dict[str, FamilyInfo] = {}
+
+
+def register_family(
+    name: str,
+    fn: FamilyFn,
+    kind: str,
+    defaults: Mapping[str, object],
+    fuzz_ranges: Mapping[str, Tuple[int, int]],
+    description: str = "",
+) -> FamilyInfo:
+    """Register a family (replacing any previous one of the same name)."""
+    info = FamilyInfo(
+        name=name,
+        fn=fn,
+        kind=kind,
+        defaults=tuple(sorted(defaults.items())),
+        fuzz_ranges=tuple(sorted(fuzz_ranges.items())),
+        description=description,
+    )
+    FAMILIES[name] = info
+    return info
+
+
+def family_info(name: str) -> FamilyInfo:
+    """Look up a family; raises ``KeyError`` listing the known names."""
+    try:
+        return FAMILIES[name]
+    except KeyError:
+        known = ", ".join(sorted(FAMILIES))
+        raise KeyError(f"unknown circuit family {name!r}; known: {known}") from None
+
+
+register_family(
+    "dag",
+    random_dag,
+    "combinational",
+    defaults={"inputs": 6, "outputs": 3, "gates": 24},
+    fuzz_ranges={"inputs": (3, 8), "outputs": (1, 4), "gates": (6, 40)},
+    description="random combinational DAG over the full gate alphabet",
+)
+register_family(
+    "arith",
+    arith_mutant,
+    "combinational",
+    defaults={"width": 4, "mutations": 2},
+    fuzz_ranges={"width": (2, 6), "mutations": (0, 5)},
+    description="ripple-adder/comparator slice with random mutations",
+)
+register_family(
+    "fsm",
+    random_fsm,
+    "sequential",
+    defaults={"state": 3, "inputs": 2, "outputs": 2, "gates": 18, "moore": False},
+    fuzz_ranges={
+        "state": (2, 5),
+        "inputs": (1, 4),
+        "outputs": (1, 3),
+        "gates": (6, 28),
+        "moore": (0, 1),
+    },
+    description="random Mealy/Moore machine (seeded next-state/output cloud)",
+)

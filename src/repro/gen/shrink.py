@@ -1,0 +1,194 @@
+"""Greedy counterexample shrinking for differential fuzzing failures.
+
+When a generated circuit fails verification under some flow variant, the
+raw reproducer can be dozens of gates deep — far more than the bug
+needs.  :func:`shrink_network` reduces it with the classic greedy loop:
+propose a structural simplification, keep it iff the failure predicate
+still holds, repeat until a whole round proposes nothing acceptable.
+
+Reductions, coarsest first:
+
+1. **output restriction** — drop all primary outputs but one (tried for
+   each output), then prune the dead cone;
+2. **gate bypass** — rewire a gate's consumers to one of its fanins and
+   delete the gate (collapses logic depth fast);
+3. **gate constancy** — replace a gate with constant 0/1;
+4. **input tying** — replace a primary input with constant 0.
+
+Every candidate is validated before the (expensive) predicate runs, so
+the oracle only ever sees well-formed networks.  The loop is
+deterministic: candidates are proposed in a fixed order, so the same
+failure always shrinks to the same minimal reproducer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional
+
+from ..netlist.network import Gate, GateType, LogicNetwork
+
+__all__ = ["ShrinkResult", "shrink_network"]
+
+#: Predicate deciding whether a candidate still exhibits the failure.
+FailurePredicate = Callable[[LogicNetwork], bool]
+
+
+@dataclass
+class ShrinkResult:
+    """Outcome of one shrinking run.
+
+    Attributes:
+        network: The minimal failing network found.
+        initial_gates: Combinational gate count of the input network.
+        final_gates: Combinational gate count after shrinking.
+        attempts: Candidate reductions proposed.
+        accepted: Candidate reductions that preserved the failure.
+        log: One line per accepted reduction, in order.
+    """
+
+    network: LogicNetwork
+    initial_gates: int = 0
+    final_gates: int = 0
+    attempts: int = 0
+    accepted: int = 0
+    log: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        return (
+            f"shrunk {self.initial_gates} -> {self.final_gates} gates "
+            f"({self.accepted}/{self.attempts} reductions accepted)"
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "initial_gates": self.initial_gates,
+            "final_gates": self.final_gates,
+            "attempts": self.attempts,
+            "accepted": self.accepted,
+            "log": list(self.log),
+        }
+
+
+def _pruned(network: LogicNetwork) -> LogicNetwork:
+    """Copy with dead logic removed (keeps the original untouched)."""
+    dup = network.copy()
+    dup.remove_dangling()
+    return dup
+
+
+def _restrict_outputs(network: LogicNetwork, keep: str) -> LogicNetwork:
+    dup = network.copy()
+    dup.outputs = [keep]
+    dup.remove_dangling()
+    return dup
+
+
+def _bypass_gate(network: LogicNetwork, name: str, replacement: str) -> Optional[LogicNetwork]:
+    """Delete gate ``name``, rewiring its consumers to ``replacement``."""
+    if replacement == name:
+        return None
+    dup = network.copy()
+    del dup.gates[name]
+    for gate in dup.gates.values():
+        gate.fanins = [replacement if f == name else f for f in gate.fanins]
+    dup.outputs = [replacement if o == name else o for o in dup.outputs]
+    dup.remove_dangling()
+    return dup
+
+
+def _constant_gate(network: LogicNetwork, name: str, value: int) -> LogicNetwork:
+    dup = network.copy()
+    gate = dup.gates[name]
+    gate.gate_type = GateType.CONST1 if value else GateType.CONST0
+    gate.fanins = []
+    dup.remove_dangling()
+    return dup
+
+
+def _tie_input(network: LogicNetwork, name: str) -> Optional[LogicNetwork]:
+    if len(network.inputs) <= 1:
+        return None  # keep at least one input: stimulus needs a domain
+    dup = network.copy()
+    dup.gates[name] = Gate(name, GateType.CONST0, [])
+    dup.inputs = [pi for pi in dup.inputs if pi != name]
+    dup.remove_dangling()
+    return dup
+
+
+def _candidates(network: LogicNetwork) -> Iterator[tuple]:
+    """Propose ``(description, candidate)`` pairs, coarsest first."""
+    if len(set(network.outputs)) > 1:
+        for out in list(dict.fromkeys(network.outputs)):
+            yield f"keep only output {out!r}", _restrict_outputs(network, out)
+    for name in list(network.topological_order()):
+        gate = network.gates.get(name)
+        if gate is None or not gate.is_combinational():
+            continue
+        for fanin in dict.fromkeys(gate.fanins):
+            candidate = _bypass_gate(network, name, fanin)
+            if candidate is not None:
+                yield f"bypass {name!r} -> {fanin!r}", candidate
+        yield f"const0 {name!r}", _constant_gate(network, name, 0)
+        yield f"const1 {name!r}", _constant_gate(network, name, 1)
+    for pi in list(network.inputs):
+        candidate = _tie_input(network, pi)
+        if candidate is not None:
+            yield f"tie input {pi!r} to 0", candidate
+
+
+def _is_valid(network: LogicNetwork) -> bool:
+    if not network.outputs:
+        return False
+    try:
+        network.validate()
+    except Exception:
+        return False
+    return True
+
+
+def shrink_network(
+    network: LogicNetwork,
+    failing: FailurePredicate,
+    max_attempts: int = 400,
+) -> ShrinkResult:
+    """Greedily minimise ``network`` while ``failing`` stays True.
+
+    Args:
+        network: The failing circuit (left untouched; a pruned copy is
+            shrunk).
+        failing: Oracle returning True when a candidate still fails.
+            It must be True for ``network`` itself — callers should check
+            before invoking the (potentially expensive) shrink loop.
+        max_attempts: Hard budget on oracle invocations.
+
+    Returns:
+        A :class:`ShrinkResult` whose ``network`` is 1-minimal with
+        respect to the reduction set (no single proposed reduction can
+        be applied without losing the failure), unless the attempt
+        budget ran out first.
+    """
+    current = _pruned(network)
+    result = ShrinkResult(
+        network=current,
+        initial_gates=current.num_gates(),
+        final_gates=current.num_gates(),
+    )
+    progress = True
+    while progress and result.attempts < max_attempts:
+        progress = False
+        for description, candidate in _candidates(current):
+            if result.attempts >= max_attempts:
+                break
+            if not _is_valid(candidate) or len(candidate) >= len(current):
+                continue
+            result.attempts += 1
+            if failing(candidate):
+                current = candidate
+                result.accepted += 1
+                result.log.append(description)
+                progress = True
+                break  # restart proposals on the smaller network
+    result.network = current
+    result.final_gates = current.num_gates()
+    return result

@@ -67,45 +67,66 @@ def _cover_to_gates(
     out_polarity = rows[0][1]
     if any(out_val != out_polarity for _, out_val in rows):
         raise BlifParseError(f".names {output}: mixed output polarities are not supported")
+    positive = out_polarity == "1"
 
-    product_terms: List[str] = []
+    # Collect each row as (signal, is_positive) literal pairs first, so the
+    # final gate can be created directly *as* ``output``.  Materialising
+    # helper gates eagerly and BUF/NOT-wrapping the sum (the previous
+    # strategy) made write -> parse -> write grow a fresh inverter layer on
+    # every trip instead of reaching a fixpoint.
+    row_literals: List[List[Tuple[str, bool]]] = []
     for pattern, _ in rows:
         if len(pattern) != len(inputs):
             raise BlifParseError(
                 f".names {output}: row {pattern!r} does not match {len(inputs)} inputs"
             )
-        literals: List[str] = []
+        literals: List[Tuple[str, bool]] = []
         for bit, signal in zip(pattern, inputs):
             if bit == "1":
-                literals.append(signal)
+                literals.append((signal, True))
             elif bit == "0":
-                inv = fresh("inv")
-                network.add_gate(inv, GateType.NOT, [signal])
-                literals.append(inv)
-            elif bit == "-":
-                continue
-            else:
+                literals.append((signal, False))
+            elif bit != "-":
                 raise BlifParseError(f".names {output}: invalid cover character {bit!r}")
+        row_literals.append(literals)
+
+    inv_cache: Dict[str, str] = {}
+
+    def as_signal(literal: Tuple[str, bool]) -> str:
+        signal, is_positive = literal
+        if is_positive:
+            return signal
+        if signal not in inv_cache:
+            inv = fresh("inv")
+            network.add_gate(inv, GateType.NOT, [signal])
+            inv_cache[signal] = inv
+        return inv_cache[signal]
+
+    if len(row_literals) == 1:
+        literals = row_literals[0]
+        if not literals:
+            network.add_gate(output, GateType.CONST1 if positive else GateType.CONST0, [])
+        elif len(literals) == 1:
+            signal, is_positive = literals[0]
+            buffer_like = is_positive == positive
+            network.add_gate(output, GateType.BUF if buffer_like else GateType.NOT, [signal])
+        else:
+            fanins = [as_signal(lit) for lit in literals]
+            network.add_gate(output, GateType.AND if positive else GateType.NAND, fanins)
+        return
+
+    product_terms: List[str] = []
+    for literals in row_literals:
         if not literals:
             term = fresh("one")
             network.add_gate(term, GateType.CONST1, [])
         elif len(literals) == 1:
-            term = literals[0]
+            term = as_signal(literals[0])
         else:
             term = fresh("and")
-            network.add_gate(term, GateType.AND, literals)
+            network.add_gate(term, GateType.AND, [as_signal(lit) for lit in literals])
         product_terms.append(term)
-
-    if len(product_terms) == 1:
-        sum_signal = product_terms[0]
-    else:
-        sum_signal = fresh("or")
-        network.add_gate(sum_signal, GateType.OR, product_terms)
-
-    if out_polarity == "1":
-        network.add_gate(output, GateType.BUF, [sum_signal])
-    else:
-        network.add_gate(output, GateType.NOT, [sum_signal])
+    network.add_gate(output, GateType.OR if positive else GateType.NOR, product_terms)
 
 
 def parse_blif(text: str) -> LogicNetwork:
@@ -207,7 +228,7 @@ def _gate_cover(gate: Gate) -> str:
         return "".join(rows)
     if gate.gate_type is GateType.MUX:
         # fanins are (sel, d0, d1)
-        return "0 1 - 1\n1 - 1 1\n"
+        return "01- 1\n1-1 1\n"
     raise NetworkError(f"cannot express gate type {gate.gate_type} in BLIF")
 
 

@@ -41,7 +41,7 @@ _PRIMITIVES: Dict[str, GateType] = {
 
 _PRIMITIVE_NAMES: Dict[GateType, str] = {v: k for k, v in _PRIMITIVES.items()}
 
-_MODULE_RE = re.compile(r"module\s+([A-Za-z_][\w$]*)\s*\(([^;]*)\)\s*;", re.S)
+_MODULE_RE = re.compile(r"module\s+(\\\S+|[A-Za-z_][\w$]*)\s*\(([^;]*)\)\s*;", re.S)
 _GATE_RE = re.compile(
     r"^(and|nand|or|nor|xor|xnor|not|buf|dff|mux)\s+(?:[A-Za-z_][\w$]*\s+)?\(([^)]*)\)$"
 )
@@ -71,7 +71,7 @@ def parse_verilog(text: str) -> LogicNetwork:
     module = _MODULE_RE.search(text)
     if not module:
         raise VerilogParseError("no module declaration found")
-    name = module.group(1)
+    name = module.group(1).lstrip("\\")
     body_start = module.end()
     body_end = text.find("endmodule", body_start)
     if body_end < 0:
@@ -144,7 +144,10 @@ def read_verilog(path: Union[str, Path]) -> LogicNetwork:
 def write_verilog(network: LogicNetwork) -> str:
     """Serialise a network as a structural-Verilog module."""
     ports = list(network.inputs) + list(dict.fromkeys(network.outputs))
-    lines: List[str] = [f"module {network.name}(" + ", ".join(_escape(p).strip() for p in ports) + ");"]
+    # Module names (e.g. generated-circuit names like "gen:dag:...:s7")
+    # need the same escaped-identifier treatment as signals.
+    module_name = _escape(network.name).rstrip()
+    lines: List[str] = [f"module {module_name} (" + ", ".join(_escape(p).strip() for p in ports) + ");"]
     if network.inputs:
         lines.append("  input " + ", ".join(_escape(p).strip() for p in network.inputs) + ";")
     if network.outputs:

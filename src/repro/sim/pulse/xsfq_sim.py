@@ -371,14 +371,25 @@ class BatchedNetlistSimulator:
         # DROCs.  Retimed netlists drive the inputs ``input_phase_lead``
         # phases early — their waves spend that extra phase crossing the
         # mid-rank registers, re-aligning with the state rails above the cut.
+        #
+        # The stimulus offset must clear every clock arrival of the same
+        # phase: the preloaded rank sees the clock only after the trigger
+        # merger (clock inject 1.0 + merger delay), so a PI or constant
+        # rail wired *directly* into a preloaded DROC — a latch whose
+        # next-state is a bare input/constant, which random FSM fuzzing
+        # generates but the fixed catalog never does — would be captured
+        # one phase early by a smaller offset.
+        offset = 2.0 + (
+            self.library.delay(CellKind.MERGER) if netlist.trigger_nets else 0.0
+        )
         lead = self.input_phase_lead
         for cycle, vector in enumerate(input_vectors):
             excite_start = (2 * cycle + 1 - lead) * period
             relax_start = (2 * cycle + 2 - lead) * period
             for pi in self._pi_names:
                 value = int(bool(vector.get(pi, 0)))
-                _drive_input(stimulus, pi, value, excite_start, relax_start, offset=5.0)
-            _drive_constants(stimulus, self._constant_nets, excite_start, relax_start, offset=5.0)
+                _drive_input(stimulus, pi, value, excite_start, relax_start, offset=offset)
+            _drive_constants(stimulus, self._constant_nets, excite_start, relax_start, offset=offset)
 
         total_time = (num_phases + 2) * period
         trace = self.simulator.run(stimulus, until=total_time)

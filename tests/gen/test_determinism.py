@@ -1,0 +1,57 @@
+"""Cross-process determinism: the contract the fuzz cache is built on.
+
+Generating the same ``(family, params, seed)`` in two *separate* Python
+processes — with different hash seeds, to flush out any accidental
+dependence on set/dict iteration order — must produce byte-identical
+netlists and identical ``VerificationSpec.key()`` content hashes.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.gen import FAMILIES
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_SNIPPET = """
+import hashlib
+from repro.gen import GenSpec
+from repro.core import flow_variant
+from repro.netlist.bench import write_bench
+from repro.verify.campaign import VerificationSpec
+
+spec = GenSpec.create({family!r}, seed=1234)
+bench = write_bench(spec.build())
+vspec = VerificationSpec.create(
+    spec.name(), flow=flow_variant("default"), patterns=32, seed=0
+)
+print(hashlib.sha256(bench.encode()).hexdigest())
+print(vspec.key())
+"""
+
+
+def _run(family: str, hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET.format(family=family)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+@pytest.mark.parametrize("family", sorted(FAMILIES))
+def test_two_subprocesses_agree_bit_for_bit(family):
+    first = _run(family, hash_seed="1")
+    second = _run(family, hash_seed="2")
+    assert first == second
+    bench_hash, spec_key = first.splitlines()
+    assert len(bench_hash) == 64 and len(spec_key) == 64

@@ -1,0 +1,120 @@
+"""Random-circuit families: validity, determinism, the name grammar."""
+
+import pytest
+
+from repro.circuits import CATALOG, build, info
+from repro.gen import (
+    FAMILIES,
+    GenSpec,
+    build_named,
+    generate_specs,
+    is_gen_name,
+    parse_name,
+    register_spec,
+)
+from repro.netlist.bench import write_bench
+
+
+class TestFamilies:
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_builds_valid_networks(self, family):
+        for seed in range(5):
+            spec = GenSpec.create(family, seed=seed)
+            network = spec.build()
+            network.validate()
+            assert network.outputs, "generated circuits must expose outputs"
+            assert network.inputs, "generated circuits must expose inputs"
+            if FAMILIES[family].kind == "sequential":
+                assert network.latches
+            else:
+                assert network.is_combinational()
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_same_seed_same_netlist(self, family):
+        spec = GenSpec.create(family, seed=11)
+        assert write_bench(spec.build()) == write_bench(spec.build())
+
+    @pytest.mark.parametrize("family", sorted(FAMILIES))
+    def test_different_seeds_differ(self, family):
+        texts = {write_bench(GenSpec.create(family, seed=s).build()) for s in range(8)}
+        assert len(texts) > 1
+
+    def test_parameters_shape_the_circuit(self):
+        small = GenSpec.create("dag", seed=0, inputs=3, gates=5).build()
+        large = GenSpec.create("dag", seed=0, inputs=8, gates=40).build()
+        assert len(large.inputs) > len(small.inputs)
+        assert large.num_gates() > small.num_gates()
+        wide = GenSpec.create("fsm", seed=0, state=5).build()
+        assert len(wide.latches) == 5
+
+    def test_unknown_family_and_params_raise(self):
+        with pytest.raises(KeyError, match="unknown circuit family"):
+            GenSpec.create("nosuch", seed=0)
+        with pytest.raises(ValueError, match="no parameter"):
+            GenSpec.create("dag", seed=0, bogus=3)
+
+
+class TestNameGrammar:
+    def test_name_round_trips(self):
+        for family in sorted(FAMILIES):
+            for seed in (0, 7, 2**31):
+                spec = GenSpec.create(family, seed=seed)
+                assert is_gen_name(spec.name())
+                assert parse_name(spec.name()) == spec
+
+    def test_name_round_trips_with_overrides(self):
+        spec = GenSpec.create("fsm", seed=5, moore=True, state=4)
+        again = parse_name(spec.name())
+        assert again == spec
+        assert dict(again.params)["moore"] is True
+
+    def test_build_named_matches_spec_build(self):
+        spec = GenSpec.create("arith", seed=9, mutations=3)
+        assert write_bench(build_named(spec.name())) == write_bench(spec.build())
+
+    def test_malformed_names_rejected(self):
+        for bad in ("c880", "gen:dag", "gen:dag:gates=1:x3", "gen:dag:gates:s1"):
+            with pytest.raises((ValueError, KeyError)):
+                parse_name(bad)
+
+
+class TestRegistryIntegration:
+    def test_registry_resolves_gen_names_without_registration(self):
+        spec = GenSpec.create("dag", seed=21)
+        assert spec.name() not in CATALOG
+        entry = info(spec.name())
+        assert entry.suite == "gen"
+        assert entry.kind == "combinational"
+        network = build(spec.name())
+        assert write_bench(network) == write_bench(spec.build())
+
+    def test_register_spec_is_idempotent_and_listable(self):
+        spec = GenSpec.create("fsm", seed=33)
+        try:
+            first = register_spec(spec)
+            second = register_spec(spec)
+            assert first is second
+            assert CATALOG[spec.name()].kind == "sequential"
+        finally:
+            CATALOG.pop(spec.name(), None)
+
+    def test_unknown_plain_names_still_raise(self):
+        with pytest.raises(KeyError):
+            info("definitely-not-a-circuit")
+
+
+class TestGenerateSpecs:
+    def test_deterministic_and_budget_sized(self):
+        a = generate_specs(12, seed=4)
+        b = generate_specs(12, seed=4)
+        assert a == b
+        assert len(a) == 12
+        assert {s.family for s in a} == set(FAMILIES)
+
+    def test_family_filter_and_distinct_seeds(self):
+        specs = generate_specs(10, seed=0, families=["dag"])
+        assert all(s.family == "dag" for s in specs)
+        assert len({s.seed for s in specs}) == len(specs)
+
+    def test_different_master_seed_changes_campaign(self):
+        assert generate_specs(6, seed=0) != generate_specs(6, seed=1)

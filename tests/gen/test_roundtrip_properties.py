@@ -1,0 +1,116 @@
+"""Property-based round-trips over randomized inputs from the generators.
+
+Two families of properties:
+
+* ``FlowOptions.to_dict`` / ``from_dict`` is a lossless pair for every
+  (randomly drawn) option combination;
+* the netlist writers reach a **write -> parse -> write fixpoint**: the
+  second and third generations of text are byte-identical, and parsing
+  preserves circuit function — checked on random circuits from every
+  :mod:`repro.gen` family, which exercise the full gate alphabet
+  (including MUX/XNOR covers and latches) far beyond the hand-written
+  format tests.
+"""
+
+import random
+
+import pytest
+
+from repro.core import FlowOptions
+from repro.gen import FAMILIES, GenSpec
+from repro.netlist import (
+    parse_bench,
+    parse_blif,
+    parse_verilog,
+    write_bench,
+    write_blif,
+    write_verilog,
+)
+
+EFFORTS = ("none", "low", "medium", "high")
+STYLES = ("balanced", "chain")
+
+
+def _random_options(rng: random.Random) -> FlowOptions:
+    return FlowOptions(
+        effort=rng.choice(EFFORTS),
+        optimize_polarity=bool(rng.getrandbits(1)),
+        direct_mapping=bool(rng.getrandbits(1)),
+        retime=bool(rng.getrandbits(1)),
+        pipeline_stages=rng.randint(0, 4),
+        splitter_style=rng.choice(STYLES),
+        polarity_sweeps=rng.randint(1, 8),
+        verify=bool(rng.getrandbits(1)),
+    )
+
+
+class TestFlowOptionsRoundTrip:
+    def test_to_dict_from_dict_is_lossless_over_random_options(self):
+        rng = random.Random(2024)
+        for _ in range(64):
+            options = _random_options(rng)
+            again = FlowOptions.from_dict(options.to_dict())
+            assert again == options
+            # Idempotent: a second trip changes nothing.
+            assert FlowOptions.from_dict(again.to_dict()) == options
+
+    def test_partial_dicts_fill_defaults(self):
+        options = FlowOptions.from_dict({"effort": "low"})
+        assert options.effort == "low"
+        assert options.retime is FlowOptions().retime
+
+    def test_unknown_keys_rejected_with_field_names(self):
+        with pytest.raises(ValueError, match="valid keys"):
+            FlowOptions.from_dict({"efort": "low"})
+
+
+WRITERS = {
+    "bench": (write_bench, parse_bench),
+    "blif": (write_blif, parse_blif),
+    "verilog": (write_verilog, parse_verilog),
+}
+
+
+def _specs():
+    return [
+        GenSpec.create(family, seed=seed)
+        for family in sorted(FAMILIES)
+        for seed in (0, 5, 23)
+    ]
+
+
+@pytest.mark.parametrize("fmt", sorted(WRITERS))
+class TestWriterFixpoints:
+    def test_write_parse_write_fixpoint(self, fmt):
+        write, parse = WRITERS[fmt]
+        for spec in _specs():
+            network = spec.build()
+            first = write(network)
+            reparsed = parse(first)
+            second = write(reparsed)
+            third = write(parse(second))
+            assert second == third, f"{fmt} not a fixpoint for {spec.name()}"
+
+    def test_roundtrip_preserves_function(self, fmt):
+        write, parse = WRITERS[fmt]
+        for spec in _specs():
+            network = spec.build()
+            again = parse(write(network))
+            assert again.inputs == network.inputs
+            assert len(again.outputs) == len(network.outputs)
+            assert len(again.latches) == len(network.latches)
+            rng = random.Random(spec.seed)
+            # Formats without an initial-state syntax (.bench, structural
+            # Verilog) cannot round-trip latch inits, so both sides start
+            # from the original's init values: the property under test is
+            # that the *logic* survives the trip.
+            init = {latch.name: latch.init for latch in network.latches}
+            state = dict(init)
+            state2 = dict(init)
+            for _ in range(16):
+                vector = {pi: rng.randint(0, 1) for pi in network.inputs}
+                out1, state = network.evaluate(vector, state)
+                out2, state2 = again.evaluate(vector, state2)
+                assert list(out1.values()) == list(out2.values()), (
+                    f"{fmt} changed function of {spec.name()} on {vector}"
+                )

@@ -178,6 +178,7 @@ class TestNetlistSimulation:
             simulate_combinational(seq.netlist, [{"en": 1}])
 
 
+@pytest.mark.slow
 class TestAnalogModel:
     def test_jtl_propagates_single_pulse_with_delay(self):
         from repro.sim.analog import characterize_jtl

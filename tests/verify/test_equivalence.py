@@ -106,7 +106,11 @@ class TestVerifyStage:
 
     def test_flow_ending_in_verdict(self):
         flow = Flow.default().with_stage("verify", {"patterns": 64})
-        state = flow.run_state(build("int2float", "quick"))
+        # Bypass the process-wide stage cache: resuming from a cached
+        # mid-flow snapshot legitimately drops the source network (the
+        # stage then verifies against the mapped AIG), and whether this
+        # circuit is cached depends on which tests ran before.
+        state = flow.run_state(build("int2float", "quick"), use_stage_cache=False)
         verdict = state.artifacts["verification"]
         assert verdict.equivalent
         assert state.metrics["verification"]["status"] == "equivalent"
