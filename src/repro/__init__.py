@@ -15,6 +15,9 @@ The package is organised as a synthesis framework:
 * :mod:`repro.circuits` — benchmark circuit generators;
 * :mod:`repro.gen` — seeded random-circuit families and differential
   fuzzing campaigns (``repro fuzz``) judged by the verification oracle;
+* :mod:`repro.perf` — declarative benchmark harness and suites
+  (``repro bench``) with schema-versioned ``BENCH_*.json`` emission and
+  a baseline regression gate;
 * :mod:`repro.eval` — parallel experiment engine reproducing the paper's
   tables and figures (also exposed as the ``repro`` command-line tool).
 
@@ -32,7 +35,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from .core import (  # noqa: E402
     Flow,
@@ -76,6 +79,18 @@ from .gen import (  # noqa: E402
     GenSpec,
     generate_specs,
     shrink_network,
+)
+from .perf import (  # noqa: E402
+    BenchReport,
+    BenchResult,
+    BenchSpec,
+    compare_reports,
+    load_bench,
+    render_comparison,
+    render_results_table,
+    run_suite,
+    suite_names,
+    suite_specs,
 )
 from .verify import (  # noqa: E402  - also registers the 'verify' stage
     StimulusSuite,
@@ -143,6 +158,17 @@ __all__ = [
     "FuzzCampaign",
     "FuzzReport",
     "shrink_network",
+    # Performance harness
+    "BenchSpec",
+    "BenchResult",
+    "BenchReport",
+    "compare_reports",
+    "load_bench",
+    "render_comparison",
+    "render_results_table",
+    "run_suite",
+    "suite_names",
+    "suite_specs",
     # Verification
     "StimulusSuite",
     "stimulus_suite",

@@ -38,6 +38,7 @@ from .simulate import (
     exhaustive_truth_tables,
     output_signatures,
     simulate_patterns,
+    simulate_patterns_reference,
     simulate_random,
 )
 from .cec import CecResult, assert_equivalent, check_equivalence
@@ -77,6 +78,7 @@ __all__ = [
     "register_pass",
     "OptimizationReport",
     "simulate_patterns",
+    "simulate_patterns_reference",
     "simulate_random",
     "exhaustive_truth_tables",
     "cone_truth_table",

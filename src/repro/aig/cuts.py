@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Sequence, Set, Tuple
 
-from .graph import Aig, lit_node
+from .graph import Aig, NodeType, lit_node
 
 
 def reconvergence_cut(aig: Aig, node: int, max_leaves: int = 10) -> List[int]:
@@ -60,6 +60,10 @@ def reconvergence_cut(aig: Aig, node: int, max_leaves: int = 10) -> List[int]:
 
 def cone_nodes(aig: Aig, root: int, leaves: Sequence[int]) -> List[int]:
     """AND nodes strictly inside the cone between ``root`` and ``leaves`` (root included)."""
+    types = aig._type
+    fanin0 = aig._fanin0
+    fanin1 = aig._fanin1
+    and_type = NodeType.AND
     leaf_set = set(leaves)
     cone: Set[int] = set()
     stack = [root]
@@ -67,12 +71,11 @@ def cone_nodes(aig: Aig, root: int, leaves: Sequence[int]) -> List[int]:
         current = stack.pop()
         if current in cone or current in leaf_set:
             continue
-        if not aig.is_and(current):
+        if types[current] is not and_type:
             continue
         cone.add(current)
-        f0, f1 = aig.fanins(current)
-        stack.append(lit_node(f0))
-        stack.append(lit_node(f1))
+        stack.append(fanin0[current] >> 1)
+        stack.append(fanin1[current] >> 1)
     return sorted(cone)
 
 
@@ -84,33 +87,25 @@ def mffc_size(aig: Aig, root: int, leaves: Sequence[int], fanout_counts: Sequenc
     fanout-free cone of the root restricted to the cut.
     """
     cone = cone_nodes(aig, root, leaves)
-    cone_set = set(cone)
-    # Build fanout lists restricted to the cone for accuracy.
+    # Build fanout counts and consumer lists restricted to the cone in one
+    # pass (the consumer rescan per node made this quadratic in cone size).
     inside_fanouts: Dict[int, int] = {n: 0 for n in cone}
+    consumers: Dict[int, List[int]] = {n: [] for n in cone}
     for n in cone:
         f0, f1 = aig.fanins(n)
-        for fanin in (lit_node(f0), lit_node(f1)):
+        for fanin in {lit_node(f0), lit_node(f1)}:
             if fanin in inside_fanouts:
                 inside_fanouts[fanin] += 1
+                consumers[fanin].append(n)
     freed = {root}
     # Process in reverse topological order (descending ids).
     for n in sorted(cone, reverse=True):
         if n == root:
             continue
         if fanout_counts[n] == inside_fanouts[n]:
-            # All fanouts are inside the cone; freed only if all consumers freed.
-            consumers_freed = True
-            # Check consumers: need fanout lists; approximate via the fact that
-            # any consumer inside the cone has a larger id than n.
-            # A cheap sufficient condition: total fanout equals in-cone fanout
-            # and every in-cone consumer is freed.
-            consumers = [
-                m
-                for m in cone
-                if m > n and n in (lit_node(aig.fanin0(m)), lit_node(aig.fanin1(m)))
-            ]
-            consumers_freed = all(m in freed for m in consumers)
-            if consumers_freed:
+            # All fanouts are inside the cone; freed only if all consumers
+            # (which have larger ids and are already decided) are freed.
+            if all(m in freed for m in consumers[n]):
                 freed.add(n)
     return len(freed)
 

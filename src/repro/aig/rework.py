@@ -125,7 +125,6 @@ def rewrite(aig: Aig, cut_size: int = 4, max_cuts_per_node: int = 8, zero_gain: 
     """
     fanout_counts = aig.fanout_counts()
     all_cuts = enumerate_cuts(aig, cut_size, max_cuts_per_node)
-    factor_cache: Dict[Tuple[int, int], Tuple[int, FactorNode, bool]] = {}
     replacements: Dict[int, _Replacement] = {}
     claimed: set[int] = set()
 
@@ -144,10 +143,8 @@ def rewrite(aig: Aig, cut_size: int = 4, max_cuts_per_node: int = 8, zero_gain: 
                 table = cone_truth_table(aig, make_lit(node), leaves)
             except ValueError:
                 continue
-            key = (len(leaves), table)
-            if key not in factor_cache:
-                factor_cache[key] = factored_form_cost(table, len(leaves))
-            cost, factor, complemented = factor_cache[key]
+            # factored_form_cost is memoised process-wide (lru_cache).
+            cost, factor, complemented = factored_form_cost(table, len(leaves))
             freed = mffc_size(aig, node, leaves, fanout_counts)
             gain = freed - cost
             if gain > 0 or (zero_gain and gain == 0):

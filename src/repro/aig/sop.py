@@ -17,23 +17,38 @@ the tautology.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 Cube = Dict[int, int]
 Cover = List[Cube]
 
+# The ISOP recursion evaluates these projection masks millions of times per
+# synthesis run (they dominated the pre-optimisation profile of
+# ``repro verify``/``repro fuzz``), so both are memoised.  The key space is
+# tiny: ``num_vars`` is bounded by the cut size of the resynthesis passes.
+_TABLE_MASKS: Dict[int, int] = {}
+_VAR_TABLES: Dict[Tuple[int, int], int] = {}
+
 
 def table_mask(num_vars: int) -> int:
     """All-ones truth table over ``num_vars`` variables."""
-    return (1 << (1 << num_vars)) - 1
+    mask = _TABLE_MASKS.get(num_vars)
+    if mask is None:
+        mask = (1 << (1 << num_vars)) - 1
+        _TABLE_MASKS[num_vars] = mask
+    return mask
 
 
 def var_table(var: int, num_vars: int) -> int:
     """Truth table of the projection function ``x_var``."""
-    word = 0
-    block = 1 << var
-    for start in range(block, 1 << num_vars, 2 * block):
-        word |= ((1 << block) - 1) << start
+    word = _VAR_TABLES.get((var, num_vars))
+    if word is None:
+        block = 1 << var
+        word = 0
+        for start in range(block, 1 << num_vars, 2 * block):
+            word |= ((1 << block) - 1) << start
+        _VAR_TABLES[(var, num_vars)] = word
     return word
 
 
@@ -55,7 +70,8 @@ def cofactor(table: int, var: int, value: int, num_vars: int) -> int:
 
 def depends_on(table: int, var: int, num_vars: int) -> bool:
     """True when the function depends on variable ``var``."""
-    return cofactor(table, var, 0, num_vars) != cofactor(table, var, 1, num_vars)
+    low = ~var_table(var, num_vars) & table_mask(num_vars)
+    return ((table >> (1 << var)) & low) != (table & low)
 
 
 def support(table: int, num_vars: int) -> List[int]:
@@ -226,12 +242,18 @@ def factor_cover(cover: Cover) -> FactorNode:
     return FactorNode("or", children=(factored_part, remainder_expr))
 
 
+@lru_cache(maxsize=1 << 16)
 def factor_table(table: int, num_vars: int) -> FactorNode:
     """ISOP + factoring of a completely specified truth table.
 
     Both the function and its complement are factored and the cheaper form
     is returned (complemented forms are handled by the caller through the
     top literal polarity — see :func:`factored_form_cost`).
+
+    Results are memoised — the resynthesis passes re-factor the same small
+    cone functions constantly — so callers must treat the returned
+    :class:`FactorNode` tree as immutable (they all do: the only consumer
+    is :func:`build_factor_into_aig`, which reads it).
     """
     mask = table_mask(num_vars)
     table &= mask
@@ -287,12 +309,14 @@ def build_factor_into_aig(
     return build(factor)
 
 
+@lru_cache(maxsize=1 << 16)
 def factored_form_cost(table: int, num_vars: int) -> Tuple[int, FactorNode, bool]:
     """Return the cheaper of factoring ``f`` and ``!f``.
 
     Returns ``(cost, factor, complemented)`` where ``complemented`` indicates
     that the factored form realises the complement of ``table`` and the
-    caller must invert the resulting literal.
+    caller must invert the resulting literal.  Memoised like
+    :func:`factor_table`; the returned tree must be treated as immutable.
     """
     direct = factor_table(table, num_vars)
     inverse = factor_table(~table & table_mask(num_vars), num_vars)

@@ -1,11 +1,12 @@
 """``repro`` — the operator CLI for reproducing the paper's evaluation.
 
-Five subcommands::
+Six subcommands::
 
     repro list                 # what can be reproduced, and with what
     repro run table4 --jobs 4  # reproduce artefacts on a worker pool
     repro verify --catalog     # pulse-level equivalence campaign
     repro fuzz --budget 200    # differential fuzzing on generated circuits
+    repro bench --suite smoke  # performance benchmarks + regression gate
     repro report results/      # re-render previously saved run reports
 
 ``repro run`` accepts one or more experiment names (or ``all``), executes
@@ -26,6 +27,12 @@ content-addressed store; see ``docs/verification.md`` and ``docs/cli.md``.
 ``repro fuzz`` manufactures seeded random circuits (``repro.gen``) and
 differentially verifies each one under several flow variants, shrinking
 any failure to a minimal reproducer; see ``docs/fuzzing.md``.
+
+``repro bench`` runs the declarative benchmark suites of ``repro.perf``
+(campaign and kernel workloads with warmup/repeat control), emits
+schema-versioned ``BENCH_<suite>.json``, and with ``--compare`` diffs
+against a stored baseline, failing the run when ``--fail-on-regress``
+is exceeded; see ``docs/performance.md``.
 """
 
 from __future__ import annotations
@@ -170,6 +177,31 @@ def build_parser() -> argparse.ArgumentParser:
                                "reproducers) into DIR")
     fuzz_cmd.add_argument("-q", "--quiet", action="store_true",
                           help="suppress per-unit progress lines")
+
+    from ..perf import suite_names
+
+    bench_cmd = sub.add_parser(
+        "bench", help="performance benchmark suites with a regression gate",
+    )
+    bench_cmd.add_argument("--suite", default="smoke", choices=suite_names(),
+                           help="benchmark suite to run (default: smoke; "
+                                f"known: {', '.join(suite_names())})")
+    bench_cmd.add_argument("--out", default=".", metavar="DIR",
+                           help="directory receiving BENCH_<suite>.json "
+                                "(default: current directory)")
+    bench_cmd.add_argument("--repeat", type=int, default=None, metavar="N",
+                           help="override measured repetitions per benchmark")
+    bench_cmd.add_argument("--warmup", type=int, default=None, metavar="N",
+                           help="override unmeasured warmup runs per benchmark")
+    bench_cmd.add_argument("--compare", default=None, metavar="BASELINE.json",
+                           help="diff best wall times against a stored "
+                                "BENCH_*.json baseline")
+    bench_cmd.add_argument("--fail-on-regress", type=float, default=None,
+                           metavar="PCT",
+                           help="with --compare: exit non-zero when any "
+                                "benchmark slowed down by more than PCT%%")
+    bench_cmd.add_argument("-q", "--quiet", action="store_true",
+                           help="suppress per-repeat progress lines")
 
     report_cmd = sub.add_parser(
         "report", help="re-render saved JSON run reports",
@@ -450,6 +482,74 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace, out) -> int:
+    from ..perf import (
+        compare_reports,
+        load_bench,
+        render_comparison,
+        render_results_table,
+        run_suite,
+        suite_specs,
+    )
+
+    if args.fail_on_regress is not None and args.compare is None:
+        raise SystemExit("repro: --fail-on-regress requires --compare")
+
+    # Load the baseline before running (and before writing the fresh
+    # report): --compare may point at the very file --out will overwrite.
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = load_bench(Path(args.compare))
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"repro: cannot load baseline {args.compare}: {exc}")
+
+    specs = suite_specs(args.suite)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    out.write(f"=== bench: suite {args.suite} ({len(specs)} benchmarks) ===\n")
+    report = run_suite(
+        args.suite, specs, repeat=args.repeat, warmup=args.warmup, progress=progress
+    )
+    out.write(render_results_table(report) + "\n")
+    path = report.write(Path(args.out))
+    out.write(f"saved {path}\n")
+    out.write(f"timing: {report.elapsed_s:.2f}s wall\n")
+
+    if baseline is None:
+        return 0
+    comparison = compare_reports(
+        report, baseline, fail_on_regress=args.fail_on_regress
+    )
+    out.write(f"\nbaseline: {args.compare} (suite {baseline.suite})\n")
+    out.write(render_comparison(comparison) + "\n")
+    if comparison.missing:
+        out.write(
+            "note: baseline entries not exercised this run: "
+            + ", ".join(comparison.missing)
+            + "\n"
+        )
+    failed = False
+    if comparison.regressions:
+        names = ", ".join(delta.name for delta in comparison.regressions)
+        out.write(
+            f"FAILED regression gate (> {args.fail_on_regress:.0f}%): {names}\n"
+        )
+        failed = True
+    if comparison.missing and args.fail_on_regress is not None:
+        # A gate that skips a baselined workload must not read as green:
+        # a deleted or renamed benchmark needs a deliberate baseline
+        # refresh, not a silent pass.
+        out.write(
+            "FAILED regression gate: baseline entries missing from this run\n"
+        )
+        failed = True
+    return 1 if failed else 0
+
+
 def _cmd_report(args: argparse.Namespace, out) -> int:
     directory = Path(args.directory)
     paths = sorted(directory.glob("*.json"))
@@ -482,6 +582,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args, out)
+    if args.command == "bench":
+        return _cmd_bench(args, out)
     if args.command == "report":
         return _cmd_report(args, out)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,42 @@
+"""Performance harness: declarative benchmarks, BENCH_*.json, regression gates.
+
+``repro bench`` (see :mod:`repro.eval.cli`) is the operator entry point;
+this package holds the measurement machinery (:mod:`repro.perf.harness`)
+and the registered workload suites (:mod:`repro.perf.suites`).  See
+``docs/performance.md`` for the JSON schema and the regression workflow.
+"""
+
+from .harness import (
+    BENCH_SCHEMA,
+    BenchComparison,
+    BenchDelta,
+    BenchReport,
+    BenchResult,
+    BenchSpec,
+    compare_reports,
+    load_bench,
+    render_comparison,
+    render_results_table,
+    run_spec,
+    run_suite,
+)
+from .suites import SPECS, SUITES, suite_names, suite_specs
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "BenchComparison",
+    "BenchDelta",
+    "BenchReport",
+    "BenchResult",
+    "BenchSpec",
+    "SPECS",
+    "SUITES",
+    "compare_reports",
+    "load_bench",
+    "render_comparison",
+    "render_results_table",
+    "run_spec",
+    "run_suite",
+    "suite_names",
+    "suite_specs",
+]

@@ -1,0 +1,413 @@
+"""Declarative benchmark harness: specs, measurement, JSON emission, diffing.
+
+This is the measurement core of the ``repro.perf`` subsystem.  A
+:class:`BenchSpec` names a workload callable plus warmup/repeat control;
+:func:`run_spec` executes it under isolation (fresh synthesis stage cache
+per invocation, so repeats measure real work, and the caller's in-process
+caches stay unpolluted), recording wall time, CPU time, the process RSS
+high-water mark and *domain counters* — patterns, pulse events and
+netlist elaborations are captured automatically around every workload,
+and workloads may return extra counters of their own.  Rates (counter per
+second of best wall time) are derived for throughput-style counters.
+
+Results aggregate into a :class:`BenchReport` that serialises to a
+schema-versioned ``BENCH_<suite>.json``; :func:`compare_reports` diffs a
+fresh report against a stored baseline and drives the
+``repro bench --compare BASELINE.json --fail-on-regress PCT`` workflow
+(see ``docs/performance.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import resource
+import sys
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Schema identifier stamped into every emitted benchmark JSON document.
+BENCH_SCHEMA = "repro-bench/1"
+
+#: Counters that represent throughput and get a derived ``<name>_per_s`` rate.
+RATE_COUNTERS = ("patterns", "events", "units")
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass(frozen=True)
+class BenchSpec:
+    """One declarative, repeatable benchmark.
+
+    Attributes:
+        name: Stable identifier (baseline comparison matches on it).
+        title: Human-readable description of the measured scenario.
+        workload: Zero-argument callable performing the work; may return a
+            mapping of extra domain counters (e.g. ``{"patterns": 600}``).
+        warmup: Unmeasured invocations before timing starts (imports,
+            lazy registries, allocator steady-state).
+        repeat: Measured invocations; wall/CPU statistics aggregate them.
+        tags: Free-form labels (suite membership is separate, see
+            :mod:`repro.perf.suites`).
+    """
+
+    name: str
+    title: str
+    workload: Callable[[], Optional[Mapping[str, float]]]
+    warmup: int = 1
+    repeat: int = 3
+    tags: Tuple[str, ...] = ()
+
+
+@dataclass
+class BenchResult:
+    """Measurements of one :class:`BenchSpec` run.
+
+    ``wall_s`` / ``cpu_s`` carry ``min``/``mean``/``max`` over the measured
+    repeats (comparisons use ``min`` — the least-noise estimator of the
+    workload's true cost).  ``counters`` come from the best (minimum-wall)
+    repeat; ``rates`` divide throughput counters by the best wall time.
+
+    ``peak_rss_kb`` is the **process-lifetime** high-water mark sampled
+    after the benchmark (``ru_maxrss`` never decreases), so within one
+    suite run it is monotone across benchmarks and attributes memory to
+    the heaviest workload seen *so far*, not to each benchmark
+    individually.  Compare it across runs of the same suite order only.
+    """
+
+    name: str
+    title: str
+    warmup: int
+    repeat: int
+    wall_s: Dict[str, float] = field(default_factory=dict)
+    cpu_s: Dict[str, float] = field(default_factory=dict)
+    peak_rss_kb: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "title": self.title,
+            "warmup": self.warmup,
+            "repeat": self.repeat,
+            "wall_s": dict(self.wall_s),
+            "cpu_s": dict(self.cpu_s),
+            "peak_rss_kb": self.peak_rss_kb,
+            "counters": dict(self.counters),
+            "rates": dict(self.rates),
+        }
+
+    @classmethod
+    def from_dict(cls, record: Mapping[str, object]) -> "BenchResult":
+        return cls(
+            name=str(record.get("name", "")),
+            title=str(record.get("title", "")),
+            warmup=int(record.get("warmup", 0)),
+            repeat=int(record.get("repeat", 0)),
+            wall_s={k: float(v) for k, v in (record.get("wall_s") or {}).items()},
+            cpu_s={k: float(v) for k, v in (record.get("cpu_s") or {}).items()},
+            peak_rss_kb=int(record.get("peak_rss_kb", 0)),
+            counters={k: float(v) for k, v in (record.get("counters") or {}).items()},
+            rates={k: float(v) for k, v in (record.get("rates") or {}).items()},
+        )
+
+
+@dataclass
+class BenchReport:
+    """Every result one suite run produced, ready for JSON emission."""
+
+    suite: str
+    results: List[BenchResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "suite": self.suite,
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "elapsed_s": self.elapsed_s,
+            "results": [result.to_dict() for result in self.results],
+        }
+
+    def write(self, directory: Path) -> Path:
+        """Write ``BENCH_<suite>.json`` into ``directory`` and return the path."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"BENCH_{self.suite}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return path
+
+
+def load_bench(path: Path) -> BenchReport:
+    """Load (and schema-check) a previously emitted ``BENCH_*.json``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    schema = data.get("schema")
+    if schema != BENCH_SCHEMA:
+        raise ValueError(
+            f"{path} carries schema {schema!r}, expected {BENCH_SCHEMA!r}"
+        )
+    report = BenchReport(suite=str(data.get("suite", "")))
+    report.elapsed_s = float(data.get("elapsed_s", 0.0))
+    report.results = [BenchResult.from_dict(r) for r in data.get("results") or []]
+    return report
+
+
+def _peak_rss_kb() -> int:
+    """Process RSS high-water mark in KB (``ru_maxrss`` is bytes on macOS)."""
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        peak //= 1024
+    return int(peak)
+
+
+def _domain_counter_snapshot() -> Dict[str, int]:
+    """Process-wide domain counters captured around every workload."""
+    from ..sim.pulse import elaboration_count, total_events_processed
+
+    return {
+        "events": total_events_processed(),
+        "elaborations": elaboration_count(),
+    }
+
+
+def _isolated_invocation(workload: Callable[[], Optional[Mapping[str, float]]]):
+    """Run the workload under a fresh synthesis stage cache.
+
+    The flow's process-wide :class:`~repro.core.flowgraph.StageCache`
+    would otherwise serve repeat N>1 from memory — benchmarks must pay
+    the full synthesis cost every time, and must not pollute the caller's
+    cache with benchmark artefacts.
+    """
+    from ..core.flowgraph import StageCache, set_stage_cache
+
+    previous = set_stage_cache(StageCache())
+    try:
+        return workload()
+    finally:
+        set_stage_cache(previous)
+
+
+def run_spec(
+    spec: BenchSpec,
+    repeat: Optional[int] = None,
+    warmup: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> BenchResult:
+    """Execute one benchmark spec and aggregate its measurements."""
+    note = progress or (lambda line: None)
+    repeats = max(1, int(repeat if repeat is not None else spec.repeat))
+    warmups = max(0, int(warmup if warmup is not None else spec.warmup))
+
+    for index in range(warmups):
+        note(f"    warmup {index + 1}/{warmups} {spec.name}")
+        _isolated_invocation(spec.workload)
+
+    walls: List[float] = []
+    cpus: List[float] = []
+    best_counters: Dict[str, float] = {}
+    for index in range(repeats):
+        before = _domain_counter_snapshot()
+        wall_started = time.perf_counter()
+        cpu_started = time.process_time()
+        extra = _isolated_invocation(spec.workload)
+        wall = time.perf_counter() - wall_started
+        cpu = time.process_time() - cpu_started
+        after = _domain_counter_snapshot()
+        counters: Dict[str, float] = {
+            key: float(after[key] - before[key]) for key in after
+        }
+        for key, value in (extra or {}).items():
+            counters[key] = float(value)
+        if not walls or wall < min(walls):
+            best_counters = counters
+        walls.append(wall)
+        cpus.append(cpu)
+        note(f"    [{index + 1}/{repeats}] {spec.name} {wall:.3f}s wall")
+
+    best_wall = min(walls)
+    rates = {
+        f"{key}_per_s": best_counters[key] / best_wall
+        for key in RATE_COUNTERS
+        if best_counters.get(key) and best_wall > 0
+    }
+    return BenchResult(
+        name=spec.name,
+        title=spec.title,
+        warmup=warmups,
+        repeat=repeats,
+        wall_s={
+            "min": best_wall,
+            "mean": sum(walls) / len(walls),
+            "max": max(walls),
+        },
+        cpu_s={
+            "min": min(cpus),
+            "mean": sum(cpus) / len(cpus),
+            "max": max(cpus),
+        },
+        peak_rss_kb=_peak_rss_kb(),
+        counters=best_counters,
+        rates=rates,
+    )
+
+
+def run_suite(
+    suite: str,
+    specs: Sequence[BenchSpec],
+    repeat: Optional[int] = None,
+    warmup: Optional[int] = None,
+    progress: Optional[ProgressFn] = None,
+) -> BenchReport:
+    """Run every spec of a suite and collect a :class:`BenchReport`."""
+    note = progress or (lambda line: None)
+    started = time.perf_counter()
+    report = BenchReport(suite=suite)
+    for spec in specs:
+        note(f"  bench {spec.name}: {spec.title}")
+        report.results.append(
+            run_spec(spec, repeat=repeat, warmup=warmup, progress=progress)
+        )
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+# ---------------------------------------------------------------------------
+# Comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BenchDelta:
+    """Wall-time delta of one benchmark against the baseline."""
+
+    name: str
+    baseline_s: Optional[float]
+    current_s: float
+    delta_pct: Optional[float]
+
+    def status(self, fail_on_regress: Optional[float]) -> str:
+        if self.delta_pct is None:
+            return "new"
+        if fail_on_regress is not None and self.delta_pct > fail_on_regress:
+            return "REGRESS"
+        if self.delta_pct < 0:
+            return "faster"
+        return "ok"
+
+
+@dataclass
+class BenchComparison:
+    """Diff of a fresh report against a baseline report."""
+
+    deltas: List[BenchDelta] = field(default_factory=list)
+    missing: List[str] = field(default_factory=list)
+    fail_on_regress: Optional[float] = None
+
+    @property
+    def regressions(self) -> List[BenchDelta]:
+        return [
+            delta
+            for delta in self.deltas
+            if delta.status(self.fail_on_regress) == "REGRESS"
+        ]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def compare_reports(
+    current: BenchReport,
+    baseline: BenchReport,
+    fail_on_regress: Optional[float] = None,
+) -> BenchComparison:
+    """Compare best wall times by benchmark name.
+
+    ``fail_on_regress`` is a percentage: a benchmark whose best wall time
+    grew by more than that over the baseline counts as a regression.
+    Benchmarks absent from the baseline are flagged ``new`` (never a
+    failure); baseline entries absent from the current run are listed in
+    ``missing`` so a silently skipped workload cannot masquerade as green.
+    """
+    baseline_by_name = {result.name: result for result in baseline.results}
+    comparison = BenchComparison(fail_on_regress=fail_on_regress)
+    seen = set()
+    for result in current.results:
+        seen.add(result.name)
+        base = baseline_by_name.get(result.name)
+        current_s = float(result.wall_s.get("min", 0.0))
+        if base is None:
+            comparison.deltas.append(BenchDelta(result.name, None, current_s, None))
+            continue
+        base_s = float(base.wall_s.get("min", 0.0))
+        delta_pct = ((current_s - base_s) / base_s * 100.0) if base_s > 0 else 0.0
+        comparison.deltas.append(
+            BenchDelta(result.name, base_s, current_s, delta_pct)
+        )
+    comparison.missing = sorted(set(baseline_by_name) - seen)
+    return comparison
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+
+def render_results_table(report: BenchReport) -> str:
+    """Text table of one suite run (the ``repro bench`` default output)."""
+    from ..core import format_table
+
+    rows = []
+    for result in report.results:
+        interesting = [
+            f"{key}={int(value):,}"
+            for key, value in sorted(result.counters.items())
+            if key in RATE_COUNTERS and value
+        ]
+        rates = [
+            f"{key.removesuffix('_per_s')}/s={value:,.0f}"
+            for key, value in sorted(result.rates.items())
+        ]
+        rows.append(
+            [
+                result.name,
+                f"{result.wall_s.get('min', 0.0):.3f}",
+                f"{result.wall_s.get('mean', 0.0):.3f}",
+                f"{result.cpu_s.get('min', 0.0):.3f}",
+                f"{result.peak_rss_kb / 1024:.0f}",
+                " ".join(interesting + rates),
+            ]
+        )
+    return format_table(
+        ["Benchmark", "Wall min (s)", "Wall mean (s)", "CPU min (s)", "RSS (MB)", "Throughput"],
+        rows,
+    )
+
+
+def render_comparison(comparison: BenchComparison) -> str:
+    """Text table for ``repro bench --compare``."""
+    from ..core import format_table
+
+    rows = []
+    for delta in comparison.deltas:
+        rows.append(
+            [
+                delta.name,
+                "-" if delta.baseline_s is None else f"{delta.baseline_s:.3f}",
+                f"{delta.current_s:.3f}",
+                "-" if delta.delta_pct is None else f"{delta.delta_pct:+.1f}%",
+                delta.status(comparison.fail_on_regress),
+            ]
+        )
+    for name in comparison.missing:
+        rows.append([name, "?", "-", "-", "MISSING"])
+    return format_table(
+        ["Benchmark", "Baseline (s)", "Current (s)", "Delta", "Status"], rows
+    )

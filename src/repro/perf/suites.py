@@ -1,0 +1,249 @@
+"""Registered benchmark suites over the repo's real workloads.
+
+Four scenario families mirror the operator-facing campaigns (catalog
+verification, differential fuzzing, synthesis flow) plus the two
+simulation kernels the campaigns spend their time in (batched pulse
+simulation, word-parallel AIG simulation).  Every family exists in a
+``smoke`` size — seconds, CI-friendly, compared against the committed
+baseline in ``benchmarks/baselines/`` — and a full size for local
+optimisation work.
+
+All workloads run with the on-disk result cache disabled and (via the
+harness) a fresh in-process stage cache per invocation, so repeats pay
+the true cost.  Verification workloads additionally assert that every
+verdict is EQUIVALENT — a benchmark silently timing a broken campaign
+would be worse than no benchmark.
+"""
+
+from __future__ import annotations
+
+import random
+from functools import lru_cache
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from .harness import BenchSpec
+
+#: Circuits small enough for the smoke suite but structurally diverse
+#: (EPFL control, ISCAS85 combinational, two sequential controllers).
+SMOKE_VERIFY_CIRCUITS = ("ctrl", "c432", "s27", "s298")
+SMOKE_SYNTH_CIRCUITS = ("c880", "s344")
+FULL_SYNTH_CIRCUITS = ("c1908", "c3540", "voter", "s838.1")
+
+
+def _verify_workload(
+    circuits, patterns: int, effort: str = "medium"
+) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..core import Flow, FlowOptions
+        from ..eval.runner import Runner
+        from ..verify import catalog_specs
+
+        flow = Flow.from_options(FlowOptions(effort=effort))
+        specs = catalog_specs(
+            circuits=list(circuits) if circuits else None,
+            scale="quick",
+            flow=flow,
+            patterns=patterns,
+        )
+        report = Runner(jobs=1, cache=None).verify(specs)
+        if not report.all_equivalent:
+            raise RuntimeError(
+                f"verify benchmark produced non-equivalent verdicts: "
+                f"{[r.get('circuit') for r in report.failures]}"
+            )
+        return {"patterns": report.total_patterns(), "circuits": len(specs)}
+
+    return run
+
+
+def _fuzz_workload(budget: int, seed: int = 0) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..eval.runner import Runner
+        from ..gen import FuzzCampaign
+
+        campaign = FuzzCampaign(budget=budget, seed=seed)
+        report = Runner(jobs=1, cache=None).fuzz(campaign, shrink=False)
+        summary = report.summary()
+        if not report.all_equivalent:
+            raise RuntimeError("fuzz benchmark produced counterexamples")
+        return {
+            "patterns": float(summary.get("total_patterns", 0)),
+            "units": float(summary.get("units", 0)),
+        }
+
+    return run
+
+
+def _synthesis_workload(
+    circuits: Sequence[str], effort: str = "medium"
+) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..circuits import build as build_circuit
+        from ..core import Flow, FlowOptions
+
+        flow = Flow.from_options(FlowOptions(effort=effort))
+        cells = 0
+        for name in circuits:
+            result = flow.run(build_circuit(name, "quick"))
+            cells += len(result.netlist.cells)
+        return {"circuits": float(len(circuits)), "cells": float(cells)}
+
+    return run
+
+
+@lru_cache(maxsize=None)
+def _synthesized(circuit: str, effort: str):
+    """Synthesise once per process: the kernel benches time simulation only."""
+    from ..circuits import build as build_circuit
+    from ..core import Flow, FlowOptions
+
+    network = build_circuit(circuit, "quick")
+    return network, Flow.from_options(FlowOptions(effort=effort)).run(network)
+
+
+def _pulse_batch_workload(
+    circuit: str, patterns: int, effort: str = "medium"
+) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..sim.pulse import BatchedNetlistSimulator
+
+        network, result = _synthesized(circuit, effort)
+        sim = BatchedNetlistSimulator(result.netlist)
+        rng = random.Random(0)
+        vectors = [
+            {name: rng.randint(0, 1) for name in sim.pi_names}
+            for _ in range(patterns)
+        ]
+        sim.run_combinational(vectors)
+        return {"patterns": float(patterns)}
+
+    return run
+
+
+def _aig_sim_workload(
+    circuit: str, num_patterns: int, rounds: int
+) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..aig import network_to_aig
+        from ..aig.simulate import simulate_random
+        from ..circuits import build as build_circuit
+
+        aig = network_to_aig(build_circuit(circuit, "quick"))
+        for round_index in range(rounds):
+            simulate_random(aig, num_patterns=num_patterns, seed=round_index)
+        return {"patterns": float(num_patterns * rounds)}
+
+    return run
+
+
+def _specs(entries: Sequence[BenchSpec]) -> Dict[str, BenchSpec]:
+    return {spec.name: spec for spec in entries}
+
+
+SPECS: Dict[str, BenchSpec] = _specs(
+    [
+        # Smoke workloads are sized to run a few hundred milliseconds at
+        # least: much shorter and the CI regression gate's percentage
+        # threshold starts measuring scheduler jitter instead of code.
+        BenchSpec(
+            "verify-smoke",
+            f"catalog verify subset ({', '.join(SMOKE_VERIFY_CIRCUITS)}, 128 patterns)",
+            _verify_workload(SMOKE_VERIFY_CIRCUITS, patterns=128),
+            tags=("verify",),
+        ),
+        BenchSpec(
+            "fuzz-smoke",
+            "differential fuzz campaign (budget 20, default flows)",
+            _fuzz_workload(budget=20),
+            tags=("fuzz",),
+        ),
+        BenchSpec(
+            "synthesis-smoke",
+            f"synthesis flow, medium effort ({', '.join(SMOKE_SYNTH_CIRCUITS)})",
+            _synthesis_workload(SMOKE_SYNTH_CIRCUITS),
+            tags=("synthesis",),
+        ),
+        BenchSpec(
+            "pulse-batch-smoke",
+            "batched pulse simulation of c880 (512 patterns, one elaboration)",
+            _pulse_batch_workload("c880", patterns=512),
+            tags=("kernel",),
+        ),
+        BenchSpec(
+            "aig-sim-smoke",
+            "word-parallel AIG simulation of voter (256-bit words x 2048 rounds)",
+            _aig_sim_workload("voter", num_patterns=256, rounds=2048),
+            tags=("kernel",),
+        ),
+        BenchSpec(
+            "verify-catalog",
+            "full catalog verification campaign (37 circuits, 256 patterns)",
+            _verify_workload(None, patterns=256),
+            repeat=2,
+            tags=("verify",),
+        ),
+        BenchSpec(
+            "fuzz-campaign",
+            "differential fuzz campaign (budget 200, default flows)",
+            _fuzz_workload(budget=200),
+            repeat=2,
+            tags=("fuzz",),
+        ),
+        BenchSpec(
+            "synthesis-flow",
+            f"synthesis flow, medium effort ({', '.join(FULL_SYNTH_CIRCUITS)})",
+            _synthesis_workload(FULL_SYNTH_CIRCUITS),
+            repeat=2,
+            tags=("synthesis",),
+        ),
+        BenchSpec(
+            "pulse-batch",
+            "batched pulse simulation of c1908 (1024 patterns, one elaboration)",
+            _pulse_batch_workload("c1908", patterns=1024),
+            tags=("kernel",),
+        ),
+        BenchSpec(
+            "aig-sim",
+            "word-parallel AIG simulation of c6288 (1024-bit words x 64 rounds)",
+            _aig_sim_workload("c6288", num_patterns=1024, rounds=64),
+            tags=("kernel",),
+        ),
+    ]
+)
+
+#: Suite name -> ordered benchmark names.
+SUITES: Dict[str, Tuple[str, ...]] = {
+    "smoke": (
+        "verify-smoke",
+        "fuzz-smoke",
+        "synthesis-smoke",
+        "pulse-batch-smoke",
+        "aig-sim-smoke",
+    ),
+    "verify": ("verify-catalog",),
+    "fuzz": ("fuzz-campaign",),
+    "synthesis": ("synthesis-flow",),
+    "kernels": ("pulse-batch", "aig-sim"),
+    "full": (
+        "verify-catalog",
+        "fuzz-campaign",
+        "synthesis-flow",
+        "pulse-batch",
+        "aig-sim",
+    ),
+}
+
+
+def suite_names() -> List[str]:
+    return sorted(SUITES)
+
+
+def suite_specs(suite: str) -> List[BenchSpec]:
+    """Resolve a suite name into its ordered benchmark specs."""
+    try:
+        names = SUITES[suite]
+    except KeyError:
+        raise KeyError(
+            f"unknown bench suite {suite!r}; known: {', '.join(suite_names())}"
+        ) from None
+    return [SPECS[name] for name in names]

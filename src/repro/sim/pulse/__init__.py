@@ -11,7 +11,8 @@ from .elements import (
     SourceCell,
     SplitterCell,
 )
-from .simulator import PulseSimulator, SimulationError
+from .reference import ReferencePulseSimulator
+from .simulator import PulseSimulator, SimulationError, total_events_processed
 from .xsfq_sim import (
     BatchedNetlistSimulator,
     XsfqSimulationResult,
@@ -34,6 +35,7 @@ __all__ = [
     "DrocCell",
     "SourceCell",
     "PulseSimulator",
+    "ReferencePulseSimulator",
     "SimulationError",
     "BatchedNetlistSimulator",
     "build_simulator",
@@ -41,6 +43,7 @@ __all__ = [
     "simulate_combinational",
     "simulate_sequential",
     "suggest_phase_period",
+    "total_events_processed",
     "reference_start_state",
     "XsfqSimulationResult",
 ]

@@ -38,6 +38,10 @@ class PulseElement:
         self.inputs = list(inputs)
         self.outputs = list(outputs)
         self.delay = delay
+        # The event loop calls on_pulse millions of times per campaign;
+        # resolving the (fixed) output nets once keeps it lean.
+        self._out0 = self.outputs[0] if self.outputs else None
+        self._out1 = self.outputs[1] if len(self.outputs) > 1 else None
         self.reset()
 
     def reset(self) -> None:
@@ -69,7 +73,7 @@ class LaCell(PulseElement):
         self._arrived[port] = True
         if all(self._arrived):
             self._arrived = [False, False]
-            return [(self.outputs[0], time + self.delay)]
+            return [(self._out0, time + self.delay)]
         return []
 
 
@@ -85,7 +89,7 @@ class FaCell(PulseElement):
     def on_pulse(self, port: int, time: float) -> List[Emission]:
         if not self._fired:
             self._fired = True
-            return [(self.outputs[0], time + self.delay)]
+            return [(self._out0, time + self.delay)]
         self._fired = False
         return []
 
@@ -101,14 +105,14 @@ class MergerCell(PulseElement):
     """2:1 confluence buffer."""
 
     def on_pulse(self, port: int, time: float) -> List[Emission]:
-        return [(self.outputs[0], time + self.delay)]
+        return [(self._out0, time + self.delay)]
 
 
 class JtlCell(PulseElement):
     """Josephson transmission line segment (pure delay)."""
 
     def on_pulse(self, port: int, time: float) -> List[Emission]:
-        return [(self.outputs[0], time + self.delay)]
+        return [(self._out0, time + self.delay)]
 
 
 class DroCell(PulseElement):
@@ -142,7 +146,7 @@ class DroCell(PulseElement):
         had_state = self.state
         self.state = False
         if had_state:
-            return [(self.outputs[0], time + self.delay)]
+            return [(self._out0, time + self.delay)]
         return []
 
 
@@ -161,7 +165,7 @@ class DrocCell(DroCell):
             return []
         had_state = self.state
         self.state = False
-        target = self.outputs[0] if had_state else self.outputs[1]
+        target = self._out0 if had_state else self._out1
         return [(target, time + self.delay)]
 
 

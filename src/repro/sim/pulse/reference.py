@@ -1,0 +1,103 @@
+"""Reference (pre-optimisation) pulse simulator core.
+
+This is the original string-keyed, dict-based event loop that
+:class:`repro.sim.pulse.PulseSimulator` replaced with an int-net-id
+implementation.  It is kept verbatim — minus the two scheduling bugs the
+optimised core also fixes (duplicate source emissions on resumed runs,
+and the event sequence counter surviving :meth:`reset`) — as the oracle
+for the differential micro-benchmarks in ``tests/perf``: both simulators
+must produce bit-identical traces on every generated circuit family.
+
+It is **not** used by the production flow; do not optimise it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from .elements import PulseElement, SourceCell
+
+
+class ReferencePulseSimulator:
+    """Discrete-event simulator over pulse elements (reference core)."""
+
+    def __init__(self) -> None:
+        self.elements: List[PulseElement] = []
+        self._sinks: Dict[str, List[Tuple[PulseElement, int]]] = defaultdict(list)
+        self._trace: Dict[str, List[float]] = defaultdict(list)
+        self._queue: List[Tuple[float, int, str]] = []
+        self._sequence = 0
+        self._dangling: set = set()
+        self._sources_scheduled = False
+
+    def add_element(self, element: PulseElement) -> PulseElement:
+        self.elements.append(element)
+        for port, net in enumerate(element.inputs):
+            self._sinks[net].append((element, port))
+        return element
+
+    def add_elements(self, elements: Iterable[PulseElement]) -> None:
+        for element in elements:
+            self.add_element(element)
+
+    def schedule(self, net: str, time: float) -> None:
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, net))
+
+    def run(
+        self,
+        stimulus: Optional[Mapping[str, Sequence[float]]] = None,
+        until: Optional[float] = None,
+    ) -> Dict[str, List[float]]:
+        if stimulus:
+            for net, times in stimulus.items():
+                for time in times:
+                    self.schedule(net, time)
+        if not self._sources_scheduled:
+            self._sources_scheduled = True
+            for element in self.elements:
+                if isinstance(element, SourceCell):
+                    for net, time in element.initial_emissions():
+                        self.schedule(net, time)
+
+        while self._queue:
+            time, sequence, net = heapq.heappop(self._queue)
+            if until is not None and time > until:
+                heapq.heappush(self._queue, (time, sequence, net))
+                break
+            self._trace[net].append(time)
+            sinks = self._sinks.get(net)
+            if not sinks:
+                self._dangling.add(net)
+                continue
+            for element, port in sinks:
+                for out_net, out_time in element.on_pulse(port, time):
+                    self._sequence += 1
+                    heapq.heappush(self._queue, (out_time, self._sequence, out_net))
+        return {net: sorted(times) for net, times in self._trace.items()}
+
+    def trace(self, net: str) -> List[float]:
+        return sorted(self._trace.get(net, []))
+
+    def pulses_in_window(self, net: str, start: float, end: float) -> int:
+        return sum(1 for t in self._trace.get(net, []) if start <= t < end)
+
+    def dangling_nets(self) -> List[str]:
+        return sorted(self._dangling)
+
+    def has_sinks(self, net: str) -> bool:
+        return bool(self._sinks.get(net))
+
+    def elements_in_initial_state(self) -> bool:
+        return all(element.is_initial_state() for element in self.elements)
+
+    def reset(self) -> None:
+        self._trace.clear()
+        self._queue.clear()
+        self._dangling.clear()
+        self._sequence = 0
+        self._sources_scheduled = False
+        for element in self.elements:
+            element.reset()

@@ -43,6 +43,7 @@ Protocol summary (see the paper's Figures 1, 6 and 7):
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -80,7 +81,10 @@ class XsfqSimulationResult:
 
     Attributes:
         outputs: One dictionary per logical cycle mapping PO name to 0/1.
-        trace: Raw pulse times per net.
+        trace: Raw pulse times per net, in time order.  Covers every net
+            for the one-shot ``simulate_*`` helpers; a
+            :class:`BatchedNetlistSimulator` restricts capture to the
+            primary-output rails unless built with ``full_trace=True``.
         phase_period: Phase length used (ps).
         all_cells_reinitialised: Whether every LA/FA cell was back in its
             initial state when the simulation ended (the Table 1 property).
@@ -205,7 +209,11 @@ def _decode_output(
     window_start: float,
     window_end: float,
 ) -> int:
-    pulsed = any(window_start <= t < window_end for t in trace.get(net, []))
+    # Trace lists come out of the event queue in time order, so a binary
+    # search bounds the decode window instead of scanning every pulse the
+    # net ever carried (which made wide batches quadratic).
+    times = trace.get(net)
+    pulsed = bool(times) and bisect_left(times, window_end) > bisect_left(times, window_start)
     value = 1 if pulsed else 0
     return value if rail is Rail.POS else 1 - value
 
@@ -228,6 +236,11 @@ class BatchedNetlistSimulator:
             critical path so deep designs settle inside one phase.
         elaborations: Number of netlist elaborations performed (always 1).
         batches_run / patterns_run: Cumulative usage statistics.
+        full_trace: When False (the default), pulse capture is restricted
+            to the primary-output rail nets — the only ones the decode
+            windows read — which keeps large batches cheap.  Pass
+            ``full_trace=True`` to record every net (needed for
+            divergence localisation and waveform inspection).
     """
 
     def __init__(
@@ -235,9 +248,11 @@ class BatchedNetlistSimulator:
         netlist: XsfqNetlist,
         library: Optional[XsfqLibrary] = None,
         phase_period: Optional[float] = None,
+        full_trace: bool = False,
     ) -> None:
         self.netlist = netlist
         self.library = library or default_library()
+        self.full_trace = bool(full_trace)
         self.simulator, self._droc_clocks = build_simulator(netlist, self.library)
         self.is_sequential = bool(self._droc_clocks)
         self.phase_period = (
@@ -259,6 +274,15 @@ class BatchedNetlistSimulator:
         self._constant_nets = _constant_nets(netlist)
         self._output_nets = {port.net for port in netlist.output_ports}
         self._driven_nets = {net for cell in netlist.cells for net in cell.outputs}
+        if not self.full_trace:
+            self.simulator.observe_only(self._output_nets)
+
+    @property
+    def pi_names(self) -> List[str]:
+        """Original primary-input names (rail suffixes stripped, clocks
+        and triggers excluded) — the keys :meth:`run_combinational` /
+        :meth:`run_sequence` vectors are read by."""
+        return list(self._pi_names)
 
     # ------------------------------------------------------------------
     # Decode windows
@@ -429,7 +453,9 @@ def simulate_combinational(
     hold a :class:`BatchedNetlistSimulator` instead of calling this in a
     loop — this helper re-elaborates the netlist on every call.
     """
-    sim = BatchedNetlistSimulator(netlist, library=library, phase_period=phase_period)
+    sim = BatchedNetlistSimulator(
+        netlist, library=library, phase_period=phase_period, full_trace=True
+    )
     if sim.is_sequential:
         raise SimulationError("netlist contains storage cells; use simulate_sequential")
     return sim.run_combinational(input_vectors)
@@ -448,7 +474,9 @@ def simulate_sequential(
     :meth:`BatchedNetlistSimulator.run_sequence` for the protocol details
     and batching.
     """
-    sim = BatchedNetlistSimulator(netlist, library=library, phase_period=phase_period)
+    sim = BatchedNetlistSimulator(
+        netlist, library=library, phase_period=phase_period, full_trace=True
+    )
     if not sim.is_sequential:
         raise SimulationError("netlist has no storage cells; use simulate_combinational")
     return sim.run_sequence(input_vectors)

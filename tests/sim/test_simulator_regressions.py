@@ -1,0 +1,187 @@
+"""Regression tests for the pulse-simulator core fixes of the perf PR.
+
+Covers the three behavioural guarantees the optimised event loop must
+keep: source emissions are injected exactly once per reset (resumed runs
+used to duplicate them), traces are monotone without any sorting, and
+resets rewind the tie-breaking sequence counter so traces reproduce
+bit-identically.  Plus the new observability knobs (restricted capture,
+event counters) and the strict golden-simulation contract.
+"""
+
+import itertools
+
+import pytest
+
+from repro.aig import network_to_aig
+from repro.aig.simulate import simulate_patterns
+from repro.core import FlowOptions, synthesize_xsfq
+from repro.eval import full_adder_network
+from repro.sim.pulse import (
+    BatchedNetlistSimulator,
+    JtlCell,
+    PulseSimulator,
+    SourceCell,
+    SplitterCell,
+    total_events_processed,
+)
+
+
+class TestSourceScheduling:
+    def test_resumed_run_does_not_duplicate_source_emissions(self):
+        """Satellite bugfix: resuming after ``until`` injects no duplicates."""
+        sim = PulseSimulator()
+        sim.add_element(SourceCell("src", "stim", [1.0, 6.0]))
+        sim.add_element(JtlCell("j", ["stim"], ["out"], 1.0))
+
+        first = sim.run(until=3.0)
+        assert first["stim"] == [1.0]
+        assert first["out"] == [2.0]
+        resumed = sim.run()  # drain the pending 6.0 emission
+        assert resumed["stim"] == [1.0, 6.0]
+        assert resumed["out"] == [2.0, 7.0]
+        # A third call finds nothing new to do.
+        assert sim.run() == resumed
+
+    def test_reset_rearms_source_emissions(self):
+        sim = PulseSimulator()
+        sim.add_element(SourceCell("src", "stim", [1.0]))
+        assert sim.run()["stim"] == [1.0]
+        sim.reset()
+        assert sim.run()["stim"] == [1.0]
+
+    def test_source_added_after_a_run_still_emits(self):
+        sim = PulseSimulator()
+        sim.add_element(SourceCell("a", "x", [1.0]))
+        sim.run()
+        sim.add_element(SourceCell("b", "y", [2.0]))
+        trace = sim.run()
+        assert trace["x"] == [1.0] and trace["y"] == [2.0]
+
+
+class TestTraceOrdering:
+    def test_traces_are_monotone_without_sorting(self):
+        """Events pop off the heap in time order; traces need no sort."""
+        result = synthesize_xsfq(full_adder_network(), FlowOptions(effort="low"))
+        sim = BatchedNetlistSimulator(result.netlist, full_trace=True)
+        vectors = [
+            dict(zip(("a", "b", "cin"), bits))
+            for bits in itertools.product((0, 1), repeat=3)
+        ] * 4
+        run = sim.run_combinational(vectors)
+        assert run.trace, "expected a non-empty trace"
+        for net, times in run.trace.items():
+            assert times == sorted(times), f"net {net} trace is not monotone"
+
+    def test_reset_does_not_clobber_previously_returned_traces(self):
+        """reset() installs fresh buffers; earlier results keep their pulses."""
+        sim = PulseSimulator()
+        sim.add_element(JtlCell("j", ["a"], ["q"], 1.0))
+        first = sim.run({"a": [0.0]})
+        assert first["q"] == [1.0]
+        sim.reset()
+        second = sim.run({"a": [5.0]})
+        assert first["q"] == [1.0]  # untouched by the reset + second batch
+        assert second["q"] == [6.0]
+
+    def test_batched_results_survive_later_batches(self):
+        result = synthesize_xsfq(full_adder_network(), FlowOptions(effort="low"))
+        sim = BatchedNetlistSimulator(result.netlist, full_trace=True)
+        r1 = sim.run_combinational([{"a": 1, "b": 1, "cin": 1}])
+        snapshot = {net: list(times) for net, times in r1.trace.items()}
+        sim.run_combinational([{"a": 0, "b": 0, "cin": 0}])
+        assert {net: list(times) for net, times in r1.trace.items()} == snapshot
+
+    def test_reset_rewinds_sequence_for_reproducible_traces(self):
+        """Same stimulus after reset() -> bit-identical trace (tie-breaks included)."""
+        sim = PulseSimulator()
+        sim.add_element(SplitterCell("s", ["in"], ["x", "y"], 1.0))
+        sim.add_element(JtlCell("jx", ["x"], ["out"], 1.0))
+        sim.add_element(JtlCell("jy", ["y"], ["out"], 1.0))
+        stimulus = {"in": [0.0, 5.0]}
+        first = {net: list(times) for net, times in sim.run(stimulus).items()}
+        sim.reset()
+        second = sim.run(stimulus)
+        assert first == second
+
+    def test_scheduling_behind_the_frontier_raises(self):
+        """Resumed runs cannot rewrite history — traces must stay monotone."""
+        from repro.sim.pulse import SimulationError
+
+        sim = PulseSimulator()
+        sim.add_element(JtlCell("j", ["a"], ["q"], 1.0))
+        sim.run({"a": [10.0]})
+        with pytest.raises(SimulationError, match="frontier"):
+            sim.run({"a": [2.0]})
+        with pytest.raises(SimulationError, match="frontier"):
+            sim.schedule("a", 2.0)
+        sim.reset()  # a reset rewinds the frontier
+        assert sim.run({"a": [2.0]})["q"] == [3.0]
+
+    def test_pulses_in_window_counts_half_open_interval(self):
+        sim = PulseSimulator()
+        sim.add_element(JtlCell("j", ["a"], ["q"], 1.0))
+        sim.run({"a": [0.0, 1.0, 2.0]})
+        assert sim.pulses_in_window("q", 1.0, 3.0) == 2  # pulses at 1,2,3 -> [1,3)
+        assert sim.pulses_in_window("q", 0.0, 10.0) == 3
+        assert sim.pulses_in_window("missing", 0.0, 10.0) == 0
+
+
+class TestObservability:
+    def test_observe_only_restricts_capture_but_not_semantics(self):
+        sim = PulseSimulator()
+        sim.add_element(SplitterCell("s", ["in"], ["mid", "spur"], 1.0))
+        sim.add_element(JtlCell("j", ["mid"], ["out"], 1.0))
+        sim.observe_only(["out"])
+        trace = sim.run({"in": [0.0]})
+        assert trace == {"out": [2.0]}
+        # Unobserved pulses still propagated and still flag dangling nets.
+        assert "spur" in sim.dangling_nets()
+        assert sim.trace("mid") == []
+
+    def test_event_counters_accumulate(self):
+        sim = PulseSimulator()
+        sim.add_element(JtlCell("j", ["a"], ["q"], 1.0))
+        before = total_events_processed()
+        sim.run({"a": [0.0, 1.0]})
+        assert sim.events_processed == 4  # 2 stimulus + 2 emitted
+        assert total_events_processed() - before == 4
+
+    def test_batched_simulator_defaults_to_output_only_capture(self):
+        result = synthesize_xsfq(full_adder_network(), FlowOptions(effort="low"))
+        restricted = BatchedNetlistSimulator(result.netlist)
+        run = restricted.run_combinational([{"a": 1, "b": 1, "cin": 0}])
+        output_nets = {port.net for port in result.netlist.output_ports}
+        assert set(run.trace) <= output_nets
+        full = BatchedNetlistSimulator(result.netlist, full_trace=True)
+        full_run = full.run_combinational([{"a": 1, "b": 1, "cin": 0}])
+        assert set(full_run.trace) > output_nets
+        assert run.outputs == full_run.outputs
+
+
+class TestStrictGoldenSimulation:
+    def test_missing_pattern_words_raise_key_error(self):
+        """Satellite bugfix: silent zero-fill masked caller bugs."""
+        aig = network_to_aig(full_adder_network())
+        patterns = {node: 0b1010 for node in aig.pi_nodes}
+        missing_node = aig.pi_nodes[-1]
+        del patterns[missing_node]
+        with pytest.raises(KeyError, match=str(missing_node)):
+            simulate_patterns(aig, patterns, 4)
+
+    def test_strict_false_restores_zero_fill(self):
+        aig = network_to_aig(full_adder_network())
+        values = simulate_patterns(aig, {}, 4, strict=False)
+        assert all(values[node] == 0 for node in aig.pi_nodes)
+
+    def test_complete_patterns_simulate_exactly(self):
+        aig = network_to_aig(full_adder_network())
+        patterns = {node: word for node, word in zip(aig.pi_nodes, (0b0011, 0b0101, 0b0000))}
+        values = simulate_patterns(aig, patterns, 4)
+        from repro.aig.simulate import lit_values
+
+        outputs = {
+            name: lit_values(values, lit, 4)
+            for name, lit in zip(aig.po_names, aig.po_lits)
+        }
+        assert outputs["s"] == 0b0011 ^ 0b0101
+        assert outputs["cout"] == 0b0011 & 0b0101
