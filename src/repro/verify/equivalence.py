@@ -253,9 +253,25 @@ def _verify_combinational(
             port_net = next(
                 (p.net for p in result.netlist.output_ports if p.name == name), None
             )
+            # The batched run only captured the primary-output rails;
+            # localisation needs every internal rail, so re-simulate just
+            # the failing pattern with full capture (patterns are
+            # independent — the alternating protocol returns every cell
+            # to its initial state between cycles).
+            debug_sim = BatchedNetlistSimulator(
+                result.netlist,
+                library=sim.library,
+                phase_period=sim.phase_period,
+                full_trace=True,
+            )
+            debug_run = debug_sim.run_combinational([vector])
             verdict.first_divergence_net = (
                 _first_divergence_net(
-                    result.netlist, result.aig, vector, run.trace, sim.cycle_window(index)
+                    result.netlist,
+                    result.aig,
+                    vector,
+                    debug_run.trace,
+                    debug_sim.cycle_window(0),
                 )
                 or port_net
             )
