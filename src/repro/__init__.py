@@ -15,6 +15,9 @@ The package is organised as a synthesis framework:
 * :mod:`repro.circuits` — benchmark circuit generators;
 * :mod:`repro.gen` — seeded random-circuit families and differential
   fuzzing campaigns (``repro fuzz``) judged by the verification oracle;
+* :mod:`repro.cov` — structural coverage for fuzzing: deterministic
+  feature extraction, coverage-steered generation, and resumable
+  sharded soak runs (``repro fuzz --soak``);
 * :mod:`repro.perf` — declarative benchmark harness and suites
   (``repro bench``) with schema-versioned ``BENCH_*.json`` emission and
   a baseline regression gate;
@@ -35,7 +38,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from .core import (  # noqa: E402
     Flow,
@@ -79,6 +82,17 @@ from .gen import (  # noqa: E402
     GenSpec,
     generate_specs,
     shrink_network,
+)
+from .cov import (  # noqa: E402
+    CoverageMap,
+    SoakCampaign,
+    SoakState,
+    feature_universe,
+    merge_states,
+    render_coverage_report,
+    run_soak,
+    steered_specs,
+    unit_features,
 )
 from .perf import (  # noqa: E402
     BenchReport,
@@ -158,6 +172,16 @@ __all__ = [
     "FuzzCampaign",
     "FuzzReport",
     "shrink_network",
+    # Structural coverage and soak runs
+    "CoverageMap",
+    "SoakCampaign",
+    "SoakState",
+    "feature_universe",
+    "merge_states",
+    "render_coverage_report",
+    "run_soak",
+    "steered_specs",
+    "unit_features",
     # Performance harness
     "BenchSpec",
     "BenchResult",

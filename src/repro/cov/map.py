@@ -1,0 +1,148 @@
+"""The coverage accumulator: feature buckets -> contributing units.
+
+A :class:`CoverageMap` records which structural feature buckets a
+campaign has hit and *which units hit them*: every feature id maps to
+the set of unit digests (see :func:`repro.cov.features.unit_digest`)
+that produced it.  Storing the contributing sets — rather than bare
+counters — is what makes the map algebraically exact:
+
+* ``add`` is **monotone**: features and digests are only ever inserted,
+  never removed, so coverage can only grow;
+* ``merge`` is a per-feature **set union**: associative, commutative
+  and idempotent, so per-worker or per-shard maps combine in any order,
+  any number of times, into exactly the map one worker scanning all
+  units would have produced (counts included — a unit seen by two
+  shards is one unit, not two).
+
+Serialisation is canonical (sorted features, sorted digest lists, no
+floats, no timestamps): equal maps produce byte-identical JSON, which
+is the property the soak checkpoint/resume machinery and its tests are
+built on.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Mapping, Set
+
+__all__ = ["COV_SCHEMA", "CoverageMap"]
+
+#: Bumped when the serialised coverage layout changes incompatibly.
+COV_SCHEMA = "repro-cov/1"
+
+
+class CoverageMap:
+    """Monotone, exactly-mergeable structural coverage accumulator."""
+
+    def __init__(self) -> None:
+        self._features: Dict[str, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Accumulation
+    # ------------------------------------------------------------------
+    def add(self, features: Iterable[str], unit: str) -> List[str]:
+        """Record that ``unit`` hit every bucket in ``features``.
+
+        Returns the features that were new to this map (in input order),
+        so callers can track the campaign's new-feature rate for free.
+        """
+        unit = str(unit)
+        fresh: List[str] = []
+        for feature in features:
+            bucket = self._features.get(feature)
+            if bucket is None:
+                bucket = self._features[feature] = set()
+                fresh.append(feature)
+            bucket.add(unit)
+        return fresh
+
+    def new_features(self, features: Iterable[str]) -> List[str]:
+        """The subset of ``features`` not yet covered (without recording)."""
+        return [f for f in dict.fromkeys(features) if f not in self._features]
+
+    def merge(self, other: "CoverageMap") -> "CoverageMap":
+        """Pure union with ``other`` (neither operand is modified).
+
+        Associative, commutative and idempotent: shard maps combine in
+        any order into the exact single-worker map.
+        """
+        merged = CoverageMap()
+        for source in (self, other):
+            for feature, units in source._features.items():
+                merged._features.setdefault(feature, set()).update(units)
+        return merged
+
+    @classmethod
+    def merge_all(cls, maps: Iterable["CoverageMap"]) -> "CoverageMap":
+        merged = cls()
+        for other in maps:
+            merged = merged.merge(other)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __contains__(self, feature: str) -> bool:
+        return feature in self._features
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CoverageMap):
+            return NotImplemented
+        return self._features == other._features
+
+    def features(self) -> List[str]:
+        """Every covered feature id, sorted."""
+        return sorted(self._features)
+
+    def units(self, feature: str) -> List[str]:
+        """Sorted digests of the units that hit ``feature``."""
+        return sorted(self._features.get(feature, ()))
+
+    def count(self, feature: str) -> int:
+        """Distinct units that hit ``feature`` (0 when uncovered)."""
+        return len(self._features.get(feature, ()))
+
+    def counts(self) -> Dict[str, int]:
+        return {feature: len(units) for feature, units in self._features.items()}
+
+    def total_hits(self) -> int:
+        """Sum of per-feature distinct-unit counts."""
+        return sum(len(units) for units in self._features.values())
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "schema": COV_SCHEMA,
+            "features": {
+                feature: sorted(units)
+                for feature, units in sorted(self._features.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, object]) -> "CoverageMap":
+        schema = data.get("schema")
+        if schema != COV_SCHEMA:
+            raise ValueError(
+                f"coverage map carries schema {schema!r}, expected {COV_SCHEMA!r}"
+            )
+        cov = cls()
+        for feature, units in (data.get("features") or {}).items():
+            cov._features[str(feature)] = {str(u) for u in units}
+        return cov
+
+    def canonical_json(self) -> str:
+        """Canonical serialisation: equal maps -> byte-identical text."""
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "CoverageMap":
+        return cls.from_dict(json.loads(text))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CoverageMap {len(self)} features, {self.total_hits()} hits>"

@@ -1,0 +1,124 @@
+"""Rendering for ``repro fuzz --coverage-report``.
+
+Three views over a :class:`~repro.cov.map.CoverageMap`:
+
+* a per-group hit/known summary against the enumerable feature universe
+  (:func:`repro.cov.features.feature_universe`);
+* the flow-variant x mapped-cell-family hit/miss matrix — the
+  at-a-glance answer to "has every mapping strategy exercised every
+  library cell?";
+* the per-batch new-feature rate of a soak run (how fast the campaign
+  is still learning; a flat-lined rate means the current generator
+  settings are mined out).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..core.report import format_table
+from .features import feature_universe
+from .map import CoverageMap
+
+__all__ = [
+    "coverage_summary",
+    "render_cell_matrix",
+    "render_coverage_report",
+    "render_new_feature_rate",
+]
+
+
+def coverage_summary(
+    coverage: CoverageMap,
+    flows: Sequence[str],
+    families: Optional[Sequence[str]] = None,
+) -> Dict[str, Dict[str, int]]:
+    """Per-group ``{"hit", "known", "extra"}`` counts.
+
+    ``hit`` counts universe buckets the map covers; ``extra`` counts
+    covered features outside the enumerated universe (finer-grained ids
+    such as count-bucketed cell features).
+    """
+    universe = feature_universe(flows, families=families)
+    covered = set(coverage.features())
+    summary: Dict[str, Dict[str, int]] = {}
+    claimed: set = set()
+    for group, buckets in universe.items():
+        bucket_set = set(buckets)
+        prefix = f"{group}:"
+        in_group = {f for f in covered if f.startswith(prefix)}
+        claimed |= in_group
+        summary[group] = {
+            "hit": len(bucket_set & covered),
+            "known": len(bucket_set),
+            "extra": len(in_group - bucket_set),
+        }
+    leftover = covered - claimed
+    if leftover:
+        summary["other"] = {"hit": 0, "known": 0, "extra": len(leftover)}
+    return summary
+
+
+def render_summary_table(
+    coverage: CoverageMap,
+    flows: Sequence[str],
+    families: Optional[Sequence[str]] = None,
+) -> str:
+    rows = []
+    for group, entry in sorted(coverage_summary(coverage, flows, families).items()):
+        known = entry["known"]
+        pct = f"{entry['hit'] / known * 100.0:5.1f}%" if known else "-"
+        rows.append([group, entry["hit"], known, pct, entry["extra"]])
+    return format_table(["Group", "Hit", "Known", "Cover", "Extra"], rows)
+
+
+def render_cell_matrix(coverage: CoverageMap, flows: Sequence[str]) -> str:
+    """Flow-variant x cell-family hit/miss matrix (``X`` hit, ``.`` miss)."""
+    from ..core.cells import CellKind
+
+    kinds = [kind.value for kind in CellKind]
+    rows = []
+    for flow in flows:
+        rows.append(
+            [flow]
+            + [
+                "X" if f"cell:{flow}:{kind}" in coverage else "."
+                for kind in kinds
+            ]
+        )
+    return format_table(["Flow \\ Cell"] + kinds, rows)
+
+
+def render_new_feature_rate(batches: Sequence[Mapping[str, int]]) -> str:
+    """Per-batch new-feature table with the cumulative feature count."""
+    rows = []
+    cumulative = 0
+    for index, batch in enumerate(batches, 1):
+        units = int(batch.get("units", 0))
+        fresh = int(batch.get("new_features", 0))
+        cumulative += fresh
+        rate = f"{fresh / units:.2f}" if units else "-"
+        rows.append([index, units, fresh, rate, cumulative])
+    return format_table(
+        ["Batch", "Units", "New features", "New/unit", "Cumulative"], rows
+    )
+
+
+def render_coverage_report(
+    coverage: CoverageMap,
+    flows: Sequence[str],
+    families: Optional[Sequence[str]] = None,
+    batches: Optional[Sequence[Mapping[str, int]]] = None,
+) -> str:
+    """The full ``--coverage-report`` text block."""
+    parts: List[str] = [
+        f"coverage: {len(coverage)} feature buckets, "
+        f"{coverage.total_hits()} (feature, unit) hits",
+        render_summary_table(coverage, flows, families),
+        "",
+        "flow x cell-family hits:",
+        render_cell_matrix(coverage, flows),
+    ]
+    if batches:
+        parts.extend(["", "new-feature rate:", render_new_feature_rate(batches)])
+    return "\n".join(parts)

@@ -1,0 +1,163 @@
+"""Coverage-steered spec generation.
+
+:func:`steered_specs` is a drop-in replacement for
+:func:`repro.gen.spec.generate_specs` that *searches* instead of
+sampling blindly.  It walks the exact uniform stream the pure-random
+generator would produce and keeps every draw that contributes at least
+one new generation-side feature (structure, parameter region, corpus
+neighborhood — see :func:`repro.cov.features.generation_features`).
+Only a *redundant* draw — one whose every feature the campaign has
+already covered — is replaced, by a draw biased toward parameter-region
+quartiles that have not produced a feature yet.
+
+That replacement rule gives a structural guarantee: a discarded uniform
+draw's features were, by definition, already in the running coverage
+map, so the steered campaign's final generation coverage is always a
+**superset** of the pure-random campaign's at the same ``(budget, seed,
+families)`` — steering can only add exploration, never lose a bucket.
+
+Determinism is non-negotiable — the fuzz cache, the soak checkpoints
+and the ``gen:`` replay grammar all key on it — so the stream is a pure
+function of ``(budget, seed, families)``:
+
+* the uniform draws come from ``random.Random(seed)`` advanced exactly
+  as :func:`generate_specs` advances it (same primitive, same stream
+  positions), so keep/replace decisions never desynchronise the two;
+* biased replacements come from a second, independently seeded stream
+  (:func:`_explore_stream`), so consuming extra randomness for a
+  replacement cannot shift later uniform draws;
+* family order stays round-robin (identical workload mix, only the
+  parameter sampling inside each family is biased);
+* the coverage feedback itself is computed from deterministically built
+  networks, so every decision replays identically.
+
+Replays still travel through the existing name grammar: a steered spec
+is an ordinary :class:`~repro.gen.spec.GenSpec` whose
+``gen:<family>:<params>:s<seed>`` name rebuilds it anywhere.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..gen.families import FamilyInfo, family_info
+from ..gen.spec import GenSpec, draw_spec, resolve_families
+from .features import (
+    REGION_BUCKETS,
+    generation_features,
+    load_corpus_specs,
+    unit_digest,
+)
+from .map import CoverageMap
+
+__all__ = ["UNCOVERED_WEIGHT", "steered_specs"]
+
+#: How strongly an uncovered quartile region attracts the replacement
+#: sampler relative to a covered one.  High enough to chase rare buckets
+#: hard, low enough that covered regions keep getting re-sampled (their
+#: seeds still produce fresh *structural* buckets).
+UNCOVERED_WEIGHT = 6.0
+
+
+def _explore_stream(seed: int) -> random.Random:
+    """The replacement-draw stream, independent of the uniform stream.
+
+    Seeded from a string token, which Python hashes with a
+    platform-stable algorithm (not the per-process ``hash``), so the
+    stream replays identically everywhere.
+    """
+    return random.Random(f"repro-cov-steer:{int(seed)}")
+
+
+def _weighted_index(master: random.Random, weights: Sequence[float]) -> int:
+    """Deterministic roulette-wheel draw over ``weights``."""
+    total = float(sum(weights))
+    roll = master.random() * total
+    acc = 0.0
+    for index, weight in enumerate(weights):
+        acc += weight
+        if roll < acc:
+            return index
+    return len(weights) - 1
+
+
+def _quartile_bounds(lo: int, hi: int, quartile: int) -> Tuple[int, int]:
+    """Inclusive value bounds of one quartile of an inclusive range."""
+    span = hi - lo + 1
+    q_lo = lo + (span * quartile) // REGION_BUCKETS
+    q_hi = lo + (span * (quartile + 1)) // REGION_BUCKETS - 1
+    return q_lo, max(q_lo, q_hi)
+
+
+def _draw_biased(
+    master: random.Random, info: FamilyInfo, covered: CoverageMap
+) -> GenSpec:
+    """Draw one spec with parameters biased toward uncovered regions."""
+    defaults = dict(info.defaults)
+    params: Dict[str, object] = {}
+    for key, (lo, hi) in info.fuzz_ranges:
+        if isinstance(defaults[key], bool):
+            weights = [
+                1.0
+                if f"region:{info.name}:{key}={value}" in covered
+                else UNCOVERED_WEIGHT
+                for value in (0, 1)
+            ]
+            params[key] = bool(_weighted_index(master, weights))
+            continue
+        weights = [
+            1.0
+            if f"region:{info.name}:{key}=q{quartile}" in covered
+            else UNCOVERED_WEIGHT
+            for quartile in range(REGION_BUCKETS)
+        ]
+        q_lo, q_hi = _quartile_bounds(lo, hi, _weighted_index(master, weights))
+        params[key] = master.randint(q_lo, q_hi)
+    return GenSpec.create(info.name, seed=master.getrandbits(32), **params)
+
+
+def steered_specs(
+    budget: int,
+    seed: int = 0,
+    families: Optional[Sequence[str]] = None,
+    coverage: Optional[CoverageMap] = None,
+) -> List[GenSpec]:
+    """Derive ``budget`` specs, replacing redundant draws with exploration.
+
+    A pure function of ``(budget, seed, families)`` (see the module
+    docstring), so the same call reproduces the same spec list in any
+    process — which is how sharded soak runs partition one shared
+    stream without coordinating.
+
+    Args:
+        budget: Circuits to derive.
+        seed: Master seed (same stream discipline as ``generate_specs``).
+        families: Family subset cycled round-robin (default: all).
+        coverage: Optional accumulator that receives every emitted
+            spec's generation-side features (callers who want the final
+            generation coverage pass a fresh map and read it back).
+    """
+    selected = resolve_families(families)
+    master = random.Random(seed)
+    explore = _explore_stream(seed)
+    covered = coverage if coverage is not None else CoverageMap()
+    corpus = load_corpus_specs()
+    specs: List[GenSpec] = []
+    for index in range(max(0, int(budget))):
+        info = family_info(selected[index % len(selected)])
+        uniform = draw_spec(master, info)
+        features = generation_features(uniform, corpus=corpus)
+        if covered.new_features(features):
+            covered.add(features, unit_digest(uniform.name()))
+            specs.append(uniform)
+            continue
+        # Every feature of the uniform draw is already covered, so
+        # dropping it cannot lose a bucket: spend the slot exploring.
+        biased = _draw_biased(explore, info, covered)
+        covered.add(
+            generation_features(biased, corpus=corpus),
+            unit_digest(biased.name()),
+        )
+        specs.append(biased)
+    return specs

@@ -26,7 +26,12 @@ content-addressed store; see ``docs/verification.md`` and ``docs/cli.md``.
 
 ``repro fuzz`` manufactures seeded random circuits (``repro.gen``) and
 differentially verifies each one under several flow variants, shrinking
-any failure to a minimal reproducer; see ``docs/fuzzing.md``.
+any failure to a minimal reproducer.  ``--steer`` biases generation
+toward uncovered structural-feature buckets (``repro.cov``),
+``--coverage-report`` prints the hit/miss matrix, and ``--soak
+--checkpoint DIR [--shards N]`` runs a resumable, shardable campaign
+whose corpus + coverage + cursor checkpoint after every batch
+(``--merge`` combines shard checkpoints); see ``docs/fuzzing.md``.
 
 ``repro bench`` runs the declarative benchmark suites of ``repro.perf``
 (campaign and kernel workloads with warmup/repeat control), emits
@@ -165,6 +170,38 @@ def build_parser() -> argparse.ArgumentParser:
                                "(default: 8)")
     fuzz_cmd.add_argument("--no-shrink", action="store_true",
                           help="skip counterexample shrinking on failures")
+    cov_group = fuzz_cmd.add_argument_group(
+        "coverage & soak (see docs/fuzzing.md)"
+    )
+    cov_group.add_argument("--steer", action="store_true",
+                           help="coverage-steered generation: bias parameter "
+                                "sampling toward uncovered feature buckets "
+                                "(deterministic per --budget/--seed)")
+    cov_group.add_argument("--coverage-report", action="store_true",
+                           help="print the structural-coverage hit/miss "
+                                "matrix and (for soak runs) the per-batch "
+                                "new-feature rate")
+    cov_group.add_argument("--soak", action="store_true",
+                           help="resumable soak run: checkpoint corpus + "
+                                "coverage + cursor after every batch "
+                                "(requires --checkpoint)")
+    cov_group.add_argument("--checkpoint", metavar="DIR", default=None,
+                           help="checkpoint directory for --soak / --merge")
+    cov_group.add_argument("--batch-size", type=int, default=30, metavar="N",
+                           help="soak units verified between checkpoints "
+                                "(default: 30)")
+    cov_group.add_argument("--shards", type=int, default=1, metavar="N",
+                           help="partition the soak unit stream into N "
+                                "independent shards (default: 1)")
+    cov_group.add_argument("--shard-index", type=int, default=None, metavar="I",
+                           help="run only shard I (0-based); default runs "
+                                "every shard sequentially")
+    cov_group.add_argument("--max-batches", type=int, default=None, metavar="N",
+                           help="stop (resumably) after N batches per shard "
+                                "this invocation")
+    cov_group.add_argument("--merge", action="store_true",
+                           help="merge the shard checkpoints in --checkpoint "
+                                "into soak-merged.json instead of running")
     fuzz_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
                           help="worker processes (default: 1)")
     fuzz_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -413,17 +450,136 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cmd_fuzz(args: argparse.Namespace, out) -> int:
-    from ..gen import FuzzCampaign, parse_name, replay_line
-    from ..gen.fuzz import units_for_replay
+def _report_coverage(units, records):
+    """Fold a finished campaign's units x records into a CoverageMap."""
+    from ..cov import CoverageMap
+    from ..cov.features import (
+        generation_features,
+        load_corpus_specs,
+        run_side_features,
+        unit_digest,
+    )
 
+    coverage = CoverageMap()
+    corpus = load_corpus_specs()
+    cache: dict = {}
+    for unit, record in zip(units, records):
+        name = unit.spec.circuit
+        base = cache.get(name)
+        if base is None:
+            base = cache[name] = generation_features(unit.gen, corpus=corpus)
+        coverage.add(
+            base + run_side_features(unit.flow_name, record),
+            unit_digest(name, unit.flow_name),
+        )
+    return coverage
+
+
+def _cmd_fuzz_soak(args: argparse.Namespace, out) -> int:
+    """``repro fuzz --soak`` / ``--merge``: checkpointed, shardable runs."""
+    from ..cov import render_coverage_report
+    from ..cov.soak import (
+        SoakCampaign,
+        load_state,
+        merge_states,
+        merged_path,
+        shard_paths,
+        write_state,
+    )
+    from ..gen import replay_line
+
+    directory = Path(args.checkpoint)
     cache = None if args.no_cache else ResultCache(args.cache_dir)
 
     def progress(line: str) -> None:
         if not args.quiet:
             out.write(line + "\n")
 
-    campaign = FuzzCampaign(
+    campaign = _fuzz_campaign(args)
+    states = []
+    if args.merge:
+        paths = shard_paths(directory)
+        if not paths:
+            raise SystemExit(
+                f"repro: no shard checkpoints (soak-shard*of*.json) in {directory}"
+            )
+        out.write(f"=== soak merge: {len(paths)} checkpoint(s) in {directory} ===\n")
+        try:
+            states = [load_state(path) for path in paths]
+        except (OSError, ValueError, json.JSONDecodeError) as exc:
+            raise SystemExit(f"repro: cannot load shard checkpoint: {exc}")
+    else:
+        runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+        indices = (
+            [args.shard_index]
+            if args.shard_index is not None
+            else list(range(args.shards))
+        )
+        for index in indices:
+            try:
+                soak = SoakCampaign(
+                    fuzz=campaign,
+                    batch_size=args.batch_size,
+                    shards=args.shards,
+                    shard_index=index,
+                )
+            except ValueError as exc:
+                raise SystemExit(f"repro: {exc}")
+            out.write(
+                f"=== soak: shard {index + 1}/{args.shards}, "
+                f"budget {campaign.budget}, seed {campaign.seed}, "
+                f"batch {args.batch_size}, checkpoints in {directory} ===\n"
+            )
+            try:
+                states.append(
+                    runner.soak(soak, directory, max_batches=args.max_batches)
+                )
+            except ValueError as exc:
+                raise SystemExit(f"repro: {exc}")
+
+    complete = all(state.complete for state in states)
+    try:
+        view = states[0] if len(states) == 1 else merge_states(states)
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    if len(states) > 1 and complete:
+        path = write_state(view, merged_path(directory))
+        out.write(f"merged {len(states)} shard(s) -> {path}\n")
+
+    fresh = sum(state.new_features_total() for state in states)
+    out.write(
+        f"soak: {view.units_done}/{view.units_total} units done, "
+        f"{len(view.coverage)} feature buckets "
+        f"({fresh} new this campaign), {len(view.failures)} failures\n"
+    )
+    if not complete:
+        out.write("note: shard(s) incomplete; resume with the same flags\n")
+
+    if args.coverage_report:
+        camp_dict = view.campaign.get("campaign") or {}
+        flows = list(camp_dict.get("flows") or campaign.flows)
+        families = list(camp_dict.get("families") or []) or None
+        batches = states[0].batches if len(states) == 1 else None
+        text = render_coverage_report(
+            view.coverage, flows, families=families, batches=batches
+        )
+        out.write(text + "\n")
+        report_path = directory / "coverage-report.txt"
+        report_path.write_text(text + "\n", encoding="utf-8")
+        out.write(f"saved {report_path}\n")
+
+    if view.failures:
+        out.write("FAILED equivalence on:\n")
+        for record in view.failures:
+            out.write(f"  {replay_line(record)}\n")
+        return 1
+    return 0
+
+
+def _fuzz_campaign(args: argparse.Namespace):
+    from ..gen import FuzzCampaign
+
+    return FuzzCampaign(
         budget=args.budget,
         seed=args.seed,
         families=tuple(args.family or ()),
@@ -431,7 +587,30 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
         patterns=args.patterns,
         sequence_length=args.sequence_length,
         stimulus_seed=args.stimulus_seed,
+        steer=args.steer,
     )
+
+
+def _cmd_fuzz(args: argparse.Namespace, out) -> int:
+    from ..gen import parse_name, replay_line
+    from ..gen.fuzz import units_for_replay
+
+    if args.soak or args.merge:
+        if args.replay is not None:
+            raise SystemExit("repro: --replay cannot combine with --soak/--merge")
+        if args.checkpoint is None:
+            raise SystemExit("repro: --soak/--merge require --checkpoint DIR")
+        return _cmd_fuzz_soak(args, out)
+    if args.shard_index is not None or args.shards != 1:
+        raise SystemExit("repro: --shards/--shard-index require --soak")
+
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    campaign = _fuzz_campaign(args)
     units = None
     if args.replay is not None:
         try:
@@ -449,8 +628,9 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
             f"=== fuzz replay: {args.replay} ({len(units)} flow variants) ===\n"
         )
     else:
+        steered = " (steered)" if campaign.steer else ""
         out.write(
-            f"=== fuzz: budget {campaign.budget}, seed {campaign.seed}, "
+            f"=== fuzz{steered}: budget {campaign.budget}, seed {campaign.seed}, "
             f"flows {', '.join(campaign.flows)} ===\n"
         )
 
@@ -458,6 +638,20 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
     report = runner.fuzz(campaign, units=units, shrink=not args.no_shrink)
     out.write(report.table() + "\n")
     _print_summary_dict(report.summary(), out)
+    if args.coverage_report:
+        from ..cov import render_coverage_report
+
+        coverage = _report_coverage(
+            units if units is not None else campaign.units(), report.records
+        )
+        out.write(
+            render_coverage_report(
+                coverage,
+                list(campaign.flows),
+                families=list(campaign.families) or None,
+            )
+            + "\n"
+        )
     out.write(
         f"timing: {report.elapsed_s:.2f}s wall "
         f"({report.cached} verdicts cached, {report.computed} verified, "

@@ -502,6 +502,25 @@ class Runner:
         )
         return report
 
+    def soak(self, campaign, checkpoint_dir, max_batches: Optional[int] = None):
+        """Run (or resume) one shard of a checkpointed soak campaign.
+
+        Thin delegation to :func:`repro.cov.soak.run_soak` with this
+        runner supplying scheduling, caching and progress; see
+        :mod:`repro.cov.soak` for the determinism contract.
+
+        Args:
+            campaign: A :class:`repro.cov.soak.SoakCampaign`.
+            checkpoint_dir: Directory the shard checkpoint lives in.
+            max_batches: Stop (resumably) after this many batches.
+
+        Returns:
+            The shard's final :class:`repro.cov.soak.SoakState`.
+        """
+        from ..cov.soak import run_soak
+
+        return run_soak(campaign, self, checkpoint_dir, max_batches=max_batches)
+
     # ------------------------------------------------------------------
     # Scheduling
     # ------------------------------------------------------------------

@@ -105,6 +105,10 @@ class FuzzCampaign:
         sequence_length: Cycles per trajectory for sequential circuits.
         stimulus_seed: Seed of the stimulus suites (independent of the
             circuit-generation master seed).
+        steer: Draw circuits with the coverage-steered generator
+            (:func:`repro.cov.steer.steered_specs`) instead of the pure
+            uniform stream.  Still fully deterministic: the steered
+            stream is a pure function of ``(budget, seed, families)``.
     """
 
     budget: int = 100
@@ -114,9 +118,16 @@ class FuzzCampaign:
     patterns: int = 64
     sequence_length: int = 8
     stimulus_seed: int = 0
+    steer: bool = False
 
     def circuits(self) -> List[GenSpec]:
         """The campaign's generated circuits, in order."""
+        if self.steer:
+            # Imported lazily: repro.cov feeds on repro.gen at module
+            # level, so the dependency must not run both ways at import.
+            from ..cov.steer import steered_specs
+
+            return steered_specs(self.budget, self.seed, self.families or None)
         return generate_specs(self.budget, self.seed, self.families or None)
 
     def units(self) -> List[FuzzUnit]:
@@ -142,6 +153,7 @@ class FuzzCampaign:
             "patterns": self.patterns,
             "sequence_length": self.sequence_length,
             "stimulus_seed": self.stimulus_seed,
+            "steer": self.steer,
         }
 
 

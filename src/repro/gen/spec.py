@@ -34,11 +34,13 @@ from .families import FAMILIES, FamilyInfo, family_info
 __all__ = [
     "GenSpec",
     "build_named",
+    "draw_spec",
     "generate_specs",
     "is_gen_name",
     "parse_name",
     "register_spec",
     "resolve",
+    "resolve_families",
 ]
 
 #: Canonical name prefix of generated circuits.
@@ -204,6 +206,33 @@ def register_spec(spec: GenSpec) -> CircuitInfo:
     return entry
 
 
+def draw_spec(master: random.Random, info: FamilyInfo) -> GenSpec:
+    """Draw one uniform spec of ``info`` from the master stream.
+
+    This is the single sampling primitive behind both
+    :func:`generate_specs` and the coverage-steered stream of
+    :func:`repro.cov.steer.steered_specs`: parameters come from the
+    family's ``fuzz_ranges`` and the per-circuit seed from the same
+    stream, so any consumer advancing ``master`` identically produces
+    identical specs.
+    """
+    params: Dict[str, object] = {}
+    for key, (lo, hi) in info.fuzz_ranges:
+        value: object = master.randint(lo, hi)
+        if isinstance(dict(info.defaults)[key], bool):
+            value = bool(value)
+        params[key] = value
+    return GenSpec.create(info.name, seed=master.getrandbits(32), **params)
+
+
+def resolve_families(families: Optional[Sequence[str]] = None) -> List[str]:
+    """The family cycle a campaign iterates, validated early."""
+    selected = list(families) if families else sorted(FAMILIES)
+    for family in selected:
+        family_info(family)  # raise early on unknown names
+    return selected
+
+
 def generate_specs(
     budget: int,
     seed: int = 0,
@@ -216,18 +245,9 @@ def generate_specs(
     master stream, so the whole campaign is a pure function of
     ``(budget, seed, families)``.
     """
-    selected = list(families) if families else sorted(FAMILIES)
-    for family in selected:
-        family_info(family)  # raise early on unknown names
+    selected = resolve_families(families)
     master = random.Random(seed)
-    specs: List[GenSpec] = []
-    for index in range(max(0, int(budget))):
-        info = family_info(selected[index % len(selected)])
-        params: Dict[str, object] = {}
-        for key, (lo, hi) in info.fuzz_ranges:
-            value: object = master.randint(lo, hi)
-            if isinstance(dict(info.defaults)[key], bool):
-                value = bool(value)
-            params[key] = value
-        specs.append(GenSpec.create(info.name, seed=master.getrandbits(32), **params))
-    return specs
+    return [
+        draw_spec(master, family_info(selected[index % len(selected)]))
+        for index in range(max(0, int(budget)))
+    ]

@@ -32,7 +32,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 BENCH_SCHEMA = "repro-bench/1"
 
 #: Counters that represent throughput and get a derived ``<name>_per_s`` rate.
-RATE_COUNTERS = ("patterns", "events", "units")
+RATE_COUNTERS = ("patterns", "events", "units", "new_features")
 
 ProgressFn = Callable[[str], None]
 

@@ -74,6 +74,40 @@ def _fuzz_workload(budget: int, seed: int = 0) -> Callable[[], Mapping[str, floa
     return run
 
 
+def _soak_batch_workload(
+    budget: int, batch_size: int, seed: int = 0
+) -> Callable[[], Mapping[str, float]]:
+    """One cold soak shard: batched verify + coverage folding + checkpoints.
+
+    Each invocation runs in a fresh temporary checkpoint directory, so
+    repeats measure the full batch loop (verification, feature
+    extraction, checkpoint serialisation) rather than a resume no-op.
+    """
+
+    def run() -> Mapping[str, float]:
+        import tempfile
+        from pathlib import Path
+
+        from ..cov.soak import SoakCampaign
+        from ..eval.runner import Runner
+        from ..gen import FuzzCampaign
+
+        campaign = SoakCampaign(
+            fuzz=FuzzCampaign(budget=budget, seed=seed, steer=True),
+            batch_size=batch_size,
+        )
+        with tempfile.TemporaryDirectory(prefix="repro-soak-bench-") as tmp:
+            state = Runner(jobs=1, cache=None).soak(campaign, Path(tmp))
+        if state.failures:
+            raise RuntimeError("soak benchmark produced counterexamples")
+        return {
+            "units": float(state.units_done),
+            "new_features": float(state.new_features_total()),
+        }
+
+    return run
+
+
 def _synthesis_workload(
     circuits: Sequence[str], effort: str = "medium"
 ) -> Callable[[], Mapping[str, float]]:
@@ -158,6 +192,19 @@ SPECS: Dict[str, BenchSpec] = _specs(
             tags=("fuzz",),
         ),
         BenchSpec(
+            "soak-batch-smoke",
+            "steered soak shard (budget 8, batch 4, fresh checkpoints)",
+            _soak_batch_workload(budget=8, batch_size=4),
+            tags=("fuzz", "soak"),
+        ),
+        BenchSpec(
+            "soak-batch",
+            "steered soak shard (budget 60, batch 20, fresh checkpoints)",
+            _soak_batch_workload(budget=60, batch_size=20),
+            repeat=2,
+            tags=("fuzz", "soak"),
+        ),
+        BenchSpec(
             "synthesis-smoke",
             f"synthesis flow, medium effort ({', '.join(SMOKE_SYNTH_CIRCUITS)})",
             _synthesis_workload(SMOKE_SYNTH_CIRCUITS),
@@ -222,6 +269,7 @@ SUITES: Dict[str, Tuple[str, ...]] = {
     ),
     "verify": ("verify-catalog",),
     "fuzz": ("fuzz-campaign",),
+    "soak": ("soak-batch-smoke", "soak-batch"),
     "synthesis": ("synthesis-flow",),
     "kernels": ("pulse-batch", "aig-sim"),
     "full": (

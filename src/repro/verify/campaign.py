@@ -42,7 +42,8 @@ __all__ = [
 ]
 
 #: Bumped when the verdict record layout changes incompatibly.
-VERIFY_SCHEMA = 1
+#: 2: records gained ``cell_counts`` (mapped cell-family histogram).
+VERIFY_SCHEMA = 2
 
 #: A flow signature as stored on a spec (same shape as SynthesisJob.stages).
 StageSignature = Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...]
@@ -176,7 +177,22 @@ def verification_record(spec: VerificationSpec) -> Dict[str, object]:
     record["kind"] = info.kind
     record["suite"] = info.suite
     record["synth_seconds"] = synth_seconds
+    record["cell_counts"] = _cell_counts(result)
     return record
+
+
+def _cell_counts(result) -> Dict[str, int]:
+    """Histogram of mapped cell families, sorted by family name.
+
+    The coverage subsystem (:mod:`repro.cov`) buckets these into
+    flow x cell-family features; sorting keeps records canonical.
+    """
+    counts: Dict[str, int] = {}
+    netlist = getattr(result, "netlist", None)
+    for cell in getattr(netlist, "cells", ()) or ():
+        family = cell.kind.value
+        counts[family] = counts.get(family, 0) + 1
+    return dict(sorted(counts.items()))
 
 
 def timed_verification_record(

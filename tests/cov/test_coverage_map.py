@@ -1,0 +1,132 @@
+"""CoverageMap algebra: the laws the soak/shard machinery relies on.
+
+Property-style tests over seeded random maps: ``add`` is monotone,
+``merge`` is associative/commutative/idempotent (a pure set union), and
+serialisation is canonical — equal maps produce byte-identical JSON.
+"""
+
+import random
+
+import pytest
+
+from repro.cov import CoverageMap
+from repro.cov.map import COV_SCHEMA
+
+FEATURES = [f"feat:{i}" for i in range(12)]
+UNITS = [f"unit{i:02d}" for i in range(8)]
+
+
+def _random_map(seed: int, events: int = 30) -> CoverageMap:
+    rng = random.Random(seed)
+    cov = CoverageMap()
+    for _ in range(events):
+        sample = rng.sample(FEATURES, rng.randint(1, 4))
+        cov.add(sample, rng.choice(UNITS))
+    return cov
+
+
+class TestAdd:
+    def test_add_is_monotone(self):
+        rng = random.Random(7)
+        cov = CoverageMap()
+        seen: dict = {}
+        for _ in range(60):
+            sample = rng.sample(FEATURES, rng.randint(1, 4))
+            unit = rng.choice(UNITS)
+            before = {f: set(cov.units(f)) for f in cov.features()}
+            cov.add(sample, unit)
+            for feature, units in before.items():
+                assert units <= set(cov.units(feature))
+            for feature in sample:
+                seen.setdefault(feature, set()).add(unit)
+                assert unit in cov.units(feature)
+        assert {f: set(cov.units(f)) for f in cov.features()} == seen
+
+    def test_add_returns_only_fresh_features(self):
+        cov = CoverageMap()
+        assert cov.add(["a", "b"], "u1") == ["a", "b"]
+        assert cov.add(["b", "c"], "u2") == ["c"]
+        assert cov.add(["a", "b", "c"], "u3") == []
+
+    def test_new_features_does_not_record(self):
+        cov = CoverageMap()
+        cov.add(["a"], "u1")
+        assert cov.new_features(["a", "b", "b"]) == ["b"]
+        assert "b" not in cov
+        assert len(cov) == 1
+
+    def test_duplicate_units_count_once(self):
+        cov = CoverageMap()
+        cov.add(["a"], "u1")
+        cov.add(["a"], "u1")
+        cov.add(["a"], "u2")
+        assert cov.count("a") == 2
+
+
+class TestMergeAlgebra:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_commutative(self, seed):
+        a, b = _random_map(seed), _random_map(seed + 100)
+        assert a.merge(b) == b.merge(a)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_associative(self, seed):
+        a, b, c = (_random_map(seed + k * 100) for k in range(3))
+        assert a.merge(b).merge(c) == a.merge(b.merge(c))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_merge_idempotent(self, seed):
+        a = _random_map(seed)
+        assert a.merge(a) == a
+
+    def test_merge_is_pure(self):
+        a, b = _random_map(1), _random_map(2)
+        a_json, b_json = a.canonical_json(), b.canonical_json()
+        a.merge(b)
+        assert a.canonical_json() == a_json
+        assert b.canonical_json() == b_json
+
+    def test_merge_unions_unit_sets(self):
+        a, b = CoverageMap(), CoverageMap()
+        a.add(["f"], "u1")
+        b.add(["f"], "u1")
+        b.add(["f", "g"], "u2")
+        merged = a.merge(b)
+        assert merged.units("f") == ["u1", "u2"]
+        assert merged.count("f") == 2  # u1 seen by both operands: one unit
+        assert merged.units("g") == ["u2"]
+
+    def test_merge_all_equals_pairwise_folds(self):
+        maps = [_random_map(seed) for seed in range(4)]
+        folded = maps[0]
+        for other in maps[1:]:
+            folded = folded.merge(other)
+        assert CoverageMap.merge_all(maps) == folded
+
+
+class TestSerialisation:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_round_trip_byte_identical(self, seed):
+        cov = _random_map(seed)
+        text = cov.canonical_json()
+        again = CoverageMap.from_json(text)
+        assert again == cov
+        assert again.canonical_json() == text
+
+    def test_insertion_order_does_not_leak(self):
+        a, b = CoverageMap(), CoverageMap()
+        a.add(["x"], "u2")
+        a.add(["w", "x"], "u1")
+        b.add(["w"], "u1")
+        b.add(["x"], "u1")
+        b.add(["x"], "u2")
+        assert a == b
+        assert a.canonical_json() == b.canonical_json()
+
+    def test_schema_is_stamped_and_checked(self):
+        cov = _random_map(0)
+        data = cov.to_dict()
+        assert data["schema"] == COV_SCHEMA
+        data["schema"] = "repro-cov/999"
+        with pytest.raises(ValueError, match="schema"):
+            CoverageMap.from_dict(data)

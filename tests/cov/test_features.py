@@ -1,0 +1,120 @@
+"""Feature extraction: buckets, topology classes, and the universe."""
+
+import pytest
+
+from repro.cov.features import (
+    BUCKET_LABELS,
+    count_bucket,
+    corpus_features,
+    feature_universe,
+    generation_features,
+    load_corpus_specs,
+    region_features,
+    region_quartile,
+    run_side_features,
+    structural_features,
+    unit_digest,
+)
+from repro.gen import GenSpec, generate_specs
+from repro.netlist import NetworkBuilder
+
+
+class TestBuckets:
+    def test_logarithmic_labels(self):
+        expected = {0: "0", 1: "1", 2: "2", 3: "3-4", 4: "3-4", 5: "5-8",
+                    8: "5-8", 9: "9-16", 16: "9-16", 17: "17-32", 32: "17-32",
+                    33: ">32", 1000: ">32"}
+        for value, label in expected.items():
+            assert count_bucket(value) == label
+            assert label in BUCKET_LABELS
+
+    def test_region_quartiles_partition_the_range(self):
+        lo, hi = 8, 40
+        quartiles = [region_quartile(lo, hi, v) for v in range(lo, hi + 1)]
+        assert quartiles == sorted(quartiles)
+        assert set(quartiles) == {0, 1, 2, 3}
+        assert region_quartile(5, 5, 5) == 0  # degenerate range
+
+    def test_unit_digest_is_short_hex_and_flow_sensitive(self):
+        a = unit_digest("gen:dag:gates=10:s1", "default")
+        b = unit_digest("gen:dag:gates=10:s1", "direct")
+        assert a != b
+        assert len(a) == 12 and int(a, 16) >= 0
+
+
+class TestStructural:
+    def test_combinational_network_features(self):
+        build = NetworkBuilder("tiny")
+        a, b = build.input("a"), build.input("b")
+        build.output(build.and_(a, b))
+        features = structural_features(build.finish())
+        assert "depth:d1" in features
+        assert "alpha:and:n1:d1" in features
+        assert "latch:n0:none" in features
+
+    def test_latch_topology_classes(self):
+        # Independent: latch fed by a primary input only.
+        build = NetworkBuilder("indep")
+        build.output(build.dff(build.input("a"), name="q"))
+        assert "latch:n1:indep" in structural_features(build.finish())
+
+        # Self: the latch's next-state cone reaches the latch itself.
+        build = NetworkBuilder("selfloop")
+        nxt = build.xor(build.input("a"), "q")  # forward-references q
+        build.output(build.network.add_latch("q", nxt))
+        assert "latch:n1:self" in structural_features(build.finish())
+
+        # Cross: two latches feeding each other (and nothing else).
+        build = NetworkBuilder("cross")
+        build.output(build.network.add_latch("q0", "q1"))
+        build.output(build.network.add_latch("q1", "q0"))
+        assert "latch:n2:cross" in structural_features(build.finish())
+
+    def test_generated_features_live_in_the_universe(self):
+        universe = feature_universe(["default"])
+        enumerable = {
+            feature
+            for group in ("depth", "alpha", "latch", "region", "corpus")
+            for feature in universe[group]
+        }
+        for spec in generate_specs(12, seed=3):
+            for feature in generation_features(spec):
+                assert feature in enumerable, feature
+
+
+class TestRegionAndCorpus:
+    def test_region_features_cover_every_fuzz_parameter(self):
+        spec = GenSpec.create("dag", seed=5)
+        features = region_features(spec)
+        names = {f.split("=")[0] for f in features}
+        assert len(features) == len(dict(spec.info().fuzz_ranges))
+        assert all(f.startswith("region:dag:") for f in features)
+        assert len(names) == len(features)
+
+    def test_corpus_entry_is_near_itself(self):
+        corpus = load_corpus_specs()
+        if not corpus:
+            pytest.skip("no pinned corpus present")
+        name, entry = corpus[0]
+        assert f"corpus:near:{name}" in corpus_features(entry, corpus)
+
+
+class TestRunSide:
+    def test_cell_and_verdict_features(self):
+        record = {
+            "status": "equivalent",
+            "cell_counts": {"LA": 3, "SPLITTER": 0, "FA": 40},
+        }
+        features = run_side_features("no-retime", record)
+        assert "cell:no-retime:LA" in features
+        assert "cell:no-retime:LA:n3-4" in features
+        assert "cell:no-retime:FA:n>32" in features
+        assert not any("SPLITTER" in f for f in features)  # zero-count: no hit
+        assert "verdict:no-retime:equivalent" in features
+
+    def test_universe_enumerates_flow_cross_products(self):
+        universe = feature_universe(["default", "direct"])
+        assert "cell:default:LA" in universe["cell"]
+        assert "cell:direct:DROC" in universe["cell"]
+        assert "verdict:direct:counterexample" in universe["verdict"]
+        assert len(universe["cell"]) == 2 * 9  # flows x CellKind members

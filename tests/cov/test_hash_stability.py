@@ -1,0 +1,56 @@
+"""Cross-process stability of feature ids, digests and coverage JSON.
+
+Same pattern as ``tests/gen/test_determinism.py``: run the same
+extraction in two separate interpreters with *different*
+``PYTHONHASHSEED`` values, which flushes out any accidental dependence
+on per-process string hashing or set/dict iteration order.  Feature ids,
+unit digests, the steered spec stream and the canonical coverage JSON
+must come back byte-identical.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_SNIPPET = """
+from repro.cov import CoverageMap
+from repro.cov.features import generation_features, unit_digest
+from repro.cov.steer import steered_specs
+from repro.gen import generate_specs
+
+cov = CoverageMap()
+for spec in generate_specs(8, seed=11):
+    features = generation_features(spec)
+    print(unit_digest(spec.name(), "default"))
+    print(";".join(features))
+    cov.add(features, unit_digest(spec.name()))
+print(cov.canonical_json())
+print(";".join(spec.name() for spec in steered_specs(30, seed=11)))
+"""
+
+
+def _run(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_two_subprocesses_agree_bit_for_bit():
+    first = _run(hash_seed="1")
+    second = _run(hash_seed="2")
+    assert first == second
+    lines = first.splitlines()
+    assert len(lines) == 8 * 2 + 2
+    assert all(len(line) == 12 for line in lines[0:16:2])  # unit digests
+    assert lines[-2].startswith('{"features":')  # canonical (sorted) JSON
