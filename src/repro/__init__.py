@@ -21,6 +21,9 @@ The package is organised as a synthesis framework:
 * :mod:`repro.perf` — declarative benchmark harness and suites
   (``repro bench``) with schema-versioned ``BENCH_*.json`` emission and
   a baseline regression gate;
+* :mod:`repro.faults` — seeded pulse-level fault injection (drop /
+  duplicate / jitter / skew), robustness-margin bisection and
+  per-circuit robustness reports (``repro faults``);
 * :mod:`repro.eval` — parallel experiment engine reproducing the paper's
   tables and figures (also exposed as the ``repro`` command-line tool).
 
@@ -38,7 +41,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 from .core import (  # noqa: E402
     Flow,
@@ -112,6 +115,15 @@ from .verify import (  # noqa: E402  - also registers the 'verify' stage
     VerificationVerdict,
     stimulus_suite,
     verify_result,
+)
+from .faults import (  # noqa: E402
+    FaultCampaign,
+    FaultModel,
+    FaultReport,
+    FaultScenario,
+    FaultSpec,
+    fault_kind_names,
+    parse_fault_name,
 )
 from .eval import (  # noqa: E402
     EXPERIMENTS,
@@ -199,6 +211,14 @@ __all__ = [
     "VerificationSpec",
     "VerificationVerdict",
     "verify_result",
+    # Fault injection and robustness
+    "FaultCampaign",
+    "FaultModel",
+    "FaultReport",
+    "FaultScenario",
+    "FaultSpec",
+    "fault_kind_names",
+    "parse_fault_name",
     # Experiment engine
     "EXPERIMENTS",
     "ExperimentSpec",

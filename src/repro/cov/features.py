@@ -30,6 +30,11 @@ Feature groups:
     Run-side features: flow variant x mapped cell family (from the
     verification record's ``cell_counts``) and flow variant x verdict
     status.
+``fault``
+    Robustness-campaign features: flow variant x injected fault kind x
+    campaign status (``tolerated``/``miscompare``/...), folded from
+    :class:`repro.faults.FaultReport` records so fault campaigns land
+    in the same coverage algebra as fuzzing.
 """
 
 from __future__ import annotations
@@ -45,8 +50,10 @@ from ..gen.spec import GenSpec
 from ..netlist.network import COMBINATIONAL_TYPES, GateType, LogicNetwork
 
 __all__ = [
+    "FAULT_STATUSES",
     "corpus_features",
     "count_bucket",
+    "fault_features",
     "feature_universe",
     "generation_features",
     "load_corpus_specs",
@@ -298,6 +305,22 @@ def run_side_features(flow_name: str, record: Mapping[str, object]) -> List[str]
     return features
 
 
+#: Statuses a fault-campaign record can carry (the ``fault`` group axis).
+FAULT_STATUSES: Tuple[str, ...] = (
+    "tolerated",
+    "miscompare",
+    "nominal-miscompare",
+    "skipped",
+)
+
+
+def fault_features(flow_name: str, record: Mapping[str, object]) -> List[str]:
+    """The fault-campaign bucket of one record: flow x kind x status."""
+    kind = str(record.get("fault_kind") or "unknown")
+    status = str(record.get("status") or "unknown")
+    return [f"fault:{flow_name}:{kind}:{status}"]
+
+
 def unit_features(
     spec: GenSpec,
     flow_name: str,
@@ -372,6 +395,16 @@ def feature_universe(
         f"verdict:{flow}:{status}"
         for flow in flows
         for status in ("equivalent", "counterexample", "skipped")
+    ]
+    # Lazy import: repro.faults imports repro.verify, which must stay
+    # importable before repro.cov during package init.
+    from ..faults.scenario import fault_kind_names
+
+    universe["fault"] = [
+        f"fault:{flow}:{kind}:{status}"
+        for flow in flows
+        for kind in fault_kind_names()
+        for status in FAULT_STATUSES
     ]
     return universe
 

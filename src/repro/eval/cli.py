@@ -1,11 +1,12 @@
 """``repro`` — the operator CLI for reproducing the paper's evaluation.
 
-Six subcommands::
+Seven subcommands::
 
     repro list                 # what can be reproduced, and with what
     repro run table4 --jobs 4  # reproduce artefacts on a worker pool
     repro verify --catalog     # pulse-level equivalence campaign
     repro fuzz --budget 200    # differential fuzzing on generated circuits
+    repro faults --catalog     # fault injection + robustness margins
     repro bench --suite smoke  # performance benchmarks + regression gate
     repro report results/      # re-render previously saved run reports
 
@@ -32,6 +33,14 @@ toward uncovered structural-feature buckets (``repro.cov``),
 --checkpoint DIR [--shards N]`` runs a resumable, shardable campaign
 whose corpus + coverage + cursor checkpoint after every batch
 (``--merge`` combines shard checkpoints); see ``docs/fuzzing.md``.
+
+``repro faults`` injects seeded pulse-level faults (``repro.faults``) —
+pulse drop, pulse duplication, delay jitter, phase skew — into the
+simulated netlists of catalogued circuits and verifies each against
+fault-free golden AIG simulation; ``--margin-search`` bisects the
+largest tolerated magnitude per circuit x fault kind, and ``--report``
+saves a schema-versioned, byte-reproducible ``repro-faults/1`` JSON
+document; see ``docs/faults.md``.
 
 ``repro bench`` runs the declarative benchmark suites of ``repro.perf``
 (campaign and kernel workloads with warmup/repeat control), emits
@@ -214,6 +223,62 @@ def build_parser() -> argparse.ArgumentParser:
                                "reproducers) into DIR")
     fuzz_cmd.add_argument("-q", "--quiet", action="store_true",
                           help="suppress per-unit progress lines")
+
+    from ..faults import DEFAULT_FAULT_KINDS, fault_kind_names
+
+    faults_cmd = sub.add_parser(
+        "faults",
+        help="fault injection + robustness margins over the circuit catalog",
+    )
+    fscope = faults_cmd.add_mutually_exclusive_group()
+    fscope.add_argument("--catalog", action="store_true",
+                        help="probe every circuit in the registry (default)")
+    fscope.add_argument("--circuit", action="append", metavar="NAME", default=None,
+                        help="probe one circuit (repeatable)")
+    faults_cmd.add_argument("--kinds", metavar="K1,K2", default=",".join(DEFAULT_FAULT_KINDS),
+                            help="comma-separated fault kinds to inject "
+                                 f"(default: {','.join(DEFAULT_FAULT_KINDS)}; known: "
+                                 f"{', '.join(fault_kind_names())})")
+    faults_cmd.add_argument("--flows", nargs="+", metavar="NAME",
+                            default=["default"],
+                            choices=flow_variant_names(),
+                            help="flow variants to cross every circuit with "
+                                 "(default: default; known: "
+                                 f"{', '.join(flow_variant_names())})")
+    faults_cmd.add_argument("--seed", type=int, default=0, metavar="S",
+                            help="fault-injection seed deriving every per-net "
+                                 "stream (default: 0)")
+    faults_cmd.add_argument("--magnitude", action="append", metavar="KIND=VALUE",
+                            default=None,
+                            help="override a kind's injected rate/magnitude, "
+                                 "e.g. jitter=10 or drop=0.05 (repeatable)")
+    faults_cmd.add_argument("--margin-search", action="store_true",
+                            help="bisect the largest tolerated magnitude per "
+                                 "circuit x kind instead of injecting the "
+                                 "fixed default magnitude")
+    faults_cmd.add_argument("--patterns", type=int, default=64, metavar="N",
+                            help="stimulus patterns per verification "
+                                 "(default: 64)")
+    faults_cmd.add_argument("--stimulus-seed", type=int, default=0, metavar="S",
+                            help="stimulus suite seed (default: 0)")
+    faults_cmd.add_argument("--sequence-length", type=int, default=8, metavar="L",
+                            help="cycles per trajectory for sequential "
+                                 "circuits (default: 8)")
+    faults_cmd.add_argument("--scale", choices=SCALES, default="quick",
+                            help="benchmark circuit scale (default: quick)")
+    faults_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+                            help="worker processes (default: 1)")
+    faults_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
+                            help="result cache directory (default: "
+                                 "REPRO_CACHE_DIR or ~/.cache/repro-xsfq)")
+    faults_cmd.add_argument("--no-cache", action="store_true",
+                            help="disable the on-disk record cache")
+    faults_cmd.add_argument("--report", nargs="?", metavar="PATH",
+                            const="repro-faults.json", default=None,
+                            help="write the repro-faults/1 JSON report "
+                                 "(default path: repro-faults.json)")
+    faults_cmd.add_argument("-q", "--quiet", action="store_true",
+                            help="suppress per-unit progress lines")
 
     from ..perf import suite_names
 
@@ -676,6 +741,95 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _parse_fault_kinds(raw: str):
+    from ..faults import fault_kind_names
+
+    kinds = tuple(token.strip() for token in raw.split(",") if token.strip())
+    if not kinds:
+        raise SystemExit("repro: --kinds needs at least one fault kind")
+    unknown = [kind for kind in kinds if kind not in fault_kind_names()]
+    if unknown:
+        raise SystemExit(
+            f"repro: unknown fault kind(s): {', '.join(unknown)} "
+            f"(known: {', '.join(fault_kind_names())})"
+        )
+    return kinds
+
+
+def _parse_fault_magnitudes(pairs):
+    from ..faults import fault_kind_names
+
+    overrides = []
+    for pair in pairs or ():
+        kind, sep, value = pair.partition("=")
+        kind = kind.strip()
+        if not sep or kind not in fault_kind_names():
+            raise SystemExit(
+                f"repro: bad --magnitude {pair!r}; expected KIND=VALUE with "
+                f"KIND one of: {', '.join(fault_kind_names())}"
+            )
+        try:
+            overrides.append((kind, float(value)))
+        except ValueError:
+            raise SystemExit(f"repro: bad --magnitude value in {pair!r}")
+    return tuple(overrides)
+
+
+def _cmd_faults(args: argparse.Namespace, out) -> int:
+    from ..faults import FaultCampaign, render_fault_table
+
+    _validate_circuits(args.circuit)
+    kinds = _parse_fault_kinds(args.kinds)
+    magnitudes = _parse_fault_magnitudes(args.magnitude)
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+
+    def progress(line: str) -> None:
+        if not args.quiet:
+            out.write(line + "\n")
+
+    campaign = FaultCampaign(
+        circuits=tuple(args.circuit or ()),
+        kinds=kinds,
+        flows=tuple(args.flows),
+        seed=args.seed,
+        scale=args.scale,
+        patterns=args.patterns,
+        stimulus_seed=args.stimulus_seed,
+        sequence_length=args.sequence_length,
+        margin=args.margin_search,
+        magnitudes=magnitudes,
+    )
+    try:
+        units = campaign.units()
+    except ValueError as exc:
+        raise SystemExit(f"repro: {exc}")
+    scope = "catalog" if not args.circuit else ", ".join(args.circuit)
+    mode = "margin search" if args.margin_search else "fixed magnitude"
+    out.write(
+        f"=== faults: {scope} ({len(units)} units, kinds {', '.join(kinds)}, "
+        f"{mode}, seed {args.seed}) ===\n"
+    )
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    report = runner.faults(campaign, units=units)
+    out.write(render_fault_table(report.records) + "\n")
+    _print_summary_dict(report.summary(), out)
+    out.write(
+        f"timing: {report.elapsed_s:.2f}s wall "
+        f"({report.cached}/{len(units)} records cached, "
+        f"{report.computed} probed, {report.jobs} workers)\n"
+    )
+    if args.report:
+        _save_report_json(report.to_dict(), Path(args.report), out)
+    if report.failures:
+        failed = ", ".join(
+            f"{r.get('circuit')} flow={r.get('flow_variant')}"
+            for r in report.failures
+        )
+        out.write(f"FAILED nominal equivalence: {failed}\n")
+        return 1
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace, out) -> int:
     from ..perf import (
         compare_reports,
@@ -776,6 +930,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_verify(args, out)
     if args.command == "fuzz":
         return _cmd_fuzz(args, out)
+    if args.command == "faults":
+        return _cmd_faults(args, out)
     if args.command == "bench":
         return _cmd_bench(args, out)
     if args.command == "report":

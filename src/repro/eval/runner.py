@@ -351,12 +351,15 @@ class Runner:
         specs: Sequence[VerificationSpec],
         describe: Callable[[VerificationSpec], str],
         verb: str = "verified",
+        worker: Callable = timed_verification_record,
     ) -> Tuple[Dict[str, Dict[str, object]], int, int]:
-        """Shared campaign scheduler for ``verify`` and ``fuzz``.
+        """Shared campaign scheduler for ``verify``, ``fuzz`` and ``faults``.
 
         De-duplicates specs by content-addressed key, replays what the
         result cache already holds, computes the rest — serially or on a
-        ``multiprocessing`` pool — and caches every fresh verdict.
+        ``multiprocessing`` pool — and caches every fresh record.  Any
+        spec type with a ``key()`` works, paired with a picklable
+        ``worker`` returning ``(spec, record, seconds)``.
 
         Returns ``(records by spec key, computed count, cached count)``.
         """
@@ -385,7 +388,7 @@ class Runner:
 
         if self.jobs == 1 or len(pending) == 1:
             for index, spec in enumerate(pending, 1):
-                spec, record, seconds = timed_verification_record(spec)
+                spec, record, seconds = worker(spec)
                 note(spec, record, seconds, index)
         elif pending:
             self.progress(
@@ -393,7 +396,7 @@ class Runner:
             )
             with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
                 for index, (spec, record, seconds) in enumerate(
-                    pool.imap(timed_verification_record, pending), 1
+                    pool.imap(worker, pending), 1
                 ):
                     note(spec, record, seconds, index)
         return records, len(pending), max(0, len(seen) - len(pending))
@@ -499,6 +502,52 @@ class Runner:
             f"[fuzz] done in {report.elapsed_s:.2f}s "
             f"({report.cached} cached, {report.computed} verified, "
             f"{len(report.failures)} failures)"
+        )
+        return report
+
+    def faults(self, campaign, units=None):
+        """Run a fault-injection / robustness campaign over the worker pool.
+
+        Every :class:`~repro.faults.FaultUnit` — one circuit under one
+        flow variant with one fault scenario (optionally margin-swept) —
+        rides the same scheduler as ``verify`` and ``fuzz``: records
+        whose content-addressed key is already cached replay for free,
+        the rest fan out across the pool via
+        :func:`repro.faults.campaign.timed_fault_record` and are cached.
+
+        Args:
+            campaign: A :class:`repro.faults.FaultCampaign`.
+            units: Pre-built unit list overriding ``campaign.units()``.
+
+        Returns:
+            A :class:`repro.faults.FaultReport`, records in unit order.
+        """
+        from ..faults.campaign import FaultReport, FaultUnit, timed_fault_record
+
+        started = time.perf_counter()
+        unit_list = list(units) if units is not None else campaign.units()
+        by_key: Dict[str, FaultUnit] = {}
+        for unit in unit_list:
+            by_key.setdefault(unit.spec.key(), unit)
+        records, computed, cached = self._run_verification_specs(
+            [unit.spec for unit in unit_list],
+            lambda spec: f"{spec.label()} flow={by_key[spec.key()].flow_name}",
+            verb="probed",
+            worker=timed_fault_record,
+        )
+        report = FaultReport(
+            campaign=campaign,
+            records=[unit.annotate(records[unit.spec.key()]) for unit in unit_list],
+            jobs=self.jobs,
+            computed=computed,
+            cached=cached,
+            elapsed_s=time.perf_counter() - started,
+        )
+        self.progress(
+            f"[faults] done in {report.elapsed_s:.2f}s "
+            f"({report.cached} cached, {report.computed} probed, "
+            f"{len(report.miscompares)} miscompares, "
+            f"{len(report.failures)} nominal failures)"
         )
         return report
 

@@ -1,0 +1,207 @@
+"""Deterministic, seeded pulse-level fault models.
+
+A :class:`FaultModel` perturbs the emissions of the event-driven pulse
+simulator (:class:`repro.sim.pulse.PulseSimulator`): each time a cell
+emits an output pulse, the installed model decides — per output net —
+whether the pulse is dropped, duplicated, and/or shifted by a bounded
+uniform delay offset.  A fourth aspect, clock ``skew``, is not applied
+here at all: it shifts the *stimulus* (relax-phase input waves and
+relax-phase clock pulses) and is consumed by
+:class:`repro.sim.pulse.BatchedNetlistSimulator` when it builds the
+drive schedule.
+
+Determinism contract (the whole point of the subsystem):
+
+* every net owns an independent ``random.Random`` stream seeded from
+  ``sha256(f"{seed}|{net_name}")`` — a pure function of the model seed
+  and the net *name*, never of Python's per-process string hash, so two
+  processes with different ``PYTHONHASHSEED`` values draw identical
+  fault streams;
+* streams advance one draw per *active* aspect per emission, in the
+  fixed order drop → jitter → dup, so adding an aspect never reshuffles
+  another aspect's draws;
+* :meth:`reset_streams` rewinds every stream (the pulse simulator calls
+  it from :meth:`~repro.sim.pulse.PulseSimulator.reset`), mirroring the
+  simulator's own sequence-counter rewind: each sequential trajectory
+  replays bit-identical injections;
+* a zero-magnitude model draws nothing and returns each emission time
+  unchanged, so traces are byte-identical to a fault-free run even
+  though the injection code path executes (see ``tests/faults``).
+
+Jittered times are clamped to the causing event's time: an effect
+scheduled *behind* its cause would break the monotone-trace invariant
+the simulator's sort-free traces and bisect decode windows rely on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DUP_SPACING", "FaultModel", "stream_seed"]
+
+#: Delay (ps) between a pulse and its duplicated echo.  Short enough to
+#: land in the same synchronous phase, long enough to be a distinct event.
+DUP_SPACING = 2.0
+
+
+def stream_seed(seed: int, net: str) -> int:
+    """PYTHONHASHSEED-stable RNG seed for one net's fault stream."""
+    token = f"{int(seed)}|{net}".encode("utf-8")
+    return int.from_bytes(hashlib.sha256(token).digest()[:8], "big")
+
+
+class FaultModel:
+    """Seeded perturbation of cell emissions (drop / dup / jitter / skew).
+
+    Attributes:
+        drop_rate: Per-emission probability of swallowing the pulse.
+        dup_rate: Per-emission probability of an extra echo pulse
+            :data:`DUP_SPACING` later.
+        jitter: Half-width (ps) of the uniform delay offset added to
+            every emission (``0.0`` disables the draw entirely).
+        skew: Shift (ps) applied to relax-phase stimulus and clock
+            events by :class:`~repro.sim.pulse.BatchedNetlistSimulator`
+            (inert inside :meth:`emissions`).
+        seed: Master seed deriving every per-net stream.
+        totals: Cumulative injection counts per aspect.  Survive
+            :meth:`reset_streams`, so a multi-trajectory verification
+            reports the whole run's injections.
+    """
+
+    def __init__(
+        self,
+        drop_rate: float = 0.0,
+        dup_rate: float = 0.0,
+        jitter: float = 0.0,
+        skew: float = 0.0,
+        seed: int = 0,
+        record_log: bool = False,
+    ) -> None:
+        for name, value, upper in (
+            ("drop_rate", drop_rate, 1.0),
+            ("dup_rate", dup_rate, 1.0),
+            ("jitter", jitter, None),
+            ("skew", skew, None),
+        ):
+            if value < 0.0 or (upper is not None and value > upper):
+                bound = f"[0, {upper}]" if upper is not None else ">= 0"
+                raise ValueError(f"{name} must be {bound}, got {value!r}")
+        self.drop_rate = float(drop_rate)
+        self.dup_rate = float(dup_rate)
+        self.jitter = float(jitter)
+        self.skew = float(skew)
+        self.seed = int(seed)
+        self.totals: Dict[str, int] = {"drop": 0, "dup": 0, "jitter": 0}
+        self._log: Optional[List[Tuple[str, str, float]]] = [] if record_log else None
+        #: Live reference to the simulator's interned net-name list
+        #: (grown by the simulator as nets appear); bound lazily.
+        self._net_names: Sequence[str] = ()
+        self._streams: List[Optional[random.Random]] = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def bind(self, net_names: Sequence[str]) -> None:
+        """Attach to a simulator's (live) net-id -> name table."""
+        self._net_names = net_names
+        self._streams = []
+
+    def reset_streams(self) -> None:
+        """Rewind every per-net stream (totals and the log persist).
+
+        Called by :meth:`repro.sim.pulse.PulseSimulator.reset` so each
+        trajectory of a batched sequential run replays the exact same
+        injections — the analogue of the simulator rewinding its event
+        sequence counter.
+        """
+        self._streams = []
+
+    def is_noop(self) -> bool:
+        """True when no aspect can perturb anything."""
+        return not (self.drop_rate or self.dup_rate or self.jitter or self.skew)
+
+    def clone(self) -> "FaultModel":
+        """A fresh, unbound model with the same parameters.
+
+        Divergence localisation re-simulates a whole failing batch on a
+        clone so the replay draws the exact stream the original run drew.
+        """
+        return FaultModel(
+            drop_rate=self.drop_rate,
+            dup_rate=self.dup_rate,
+            jitter=self.jitter,
+            skew=self.skew,
+            seed=self.seed,
+            record_log=self._log is not None,
+        )
+
+    def params(self) -> Dict[str, float]:
+        return {
+            "drop_rate": self.drop_rate,
+            "dup_rate": self.dup_rate,
+            "jitter": self.jitter,
+            "skew": self.skew,
+        }
+
+    # ------------------------------------------------------------------
+    # Injection (simulator hot path)
+    # ------------------------------------------------------------------
+    def _stream(self, nid: int) -> random.Random:
+        streams = self._streams
+        if len(streams) <= nid:
+            streams.extend([None] * (nid + 1 - len(streams)))
+        rng = random.Random(stream_seed(self.seed, self._net_names[nid]))
+        streams[nid] = rng
+        return rng
+
+    def emissions(self, nid: int, time: float, now: float) -> Tuple[float, ...]:
+        """Perturbed delivery times for one cell emission.
+
+        Args:
+            nid: Interned id of the net the pulse is emitted onto.
+            time: Nominal emission time.
+            now: Time of the causing event; perturbed times are clamped
+                to it so effects never precede their cause.
+
+        Returns:
+            Zero (dropped), one, or two (duplicated) delivery times.
+        """
+        streams = self._streams
+        rng = streams[nid] if nid < len(streams) else None
+        if rng is None:
+            rng = self._stream(nid)
+        if self.drop_rate and rng.random() < self.drop_rate:
+            self.totals["drop"] += 1
+            if self._log is not None:
+                self._log.append(("drop", self._net_names[nid], time))
+            return ()
+        out = time
+        if self.jitter:
+            out = time + (2.0 * rng.random() - 1.0) * self.jitter
+            if out < now:
+                out = now
+            self.totals["jitter"] += 1
+            if self._log is not None:
+                self._log.append(("jitter", self._net_names[nid], out))
+        if self.dup_rate and rng.random() < self.dup_rate:
+            self.totals["dup"] += 1
+            echo = out + DUP_SPACING
+            if self._log is not None:
+                self._log.append(("dup", self._net_names[nid], echo))
+            return (out, echo)
+        return (out,)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def injection_counts(self) -> Dict[str, int]:
+        """Copy of the cumulative per-aspect injection counters."""
+        return dict(self.totals)
+
+    def injection_log(self) -> List[Tuple[str, str, float]]:
+        """Chronological ``(aspect, net, time)`` log (``record_log`` only)."""
+        if self._log is None:
+            raise ValueError("injection log disabled; build with record_log=True")
+        return list(self._log)

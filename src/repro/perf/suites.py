@@ -1,9 +1,9 @@
 """Registered benchmark suites over the repo's real workloads.
 
-Four scenario families mirror the operator-facing campaigns (catalog
-verification, differential fuzzing, synthesis flow) plus the two
-simulation kernels the campaigns spend their time in (batched pulse
-simulation, word-parallel AIG simulation).  Every family exists in a
+Five scenario families mirror the operator-facing campaigns (catalog
+verification, differential fuzzing, fault-margin search, synthesis
+flow) plus the two simulation kernels the campaigns spend their time in
+(batched pulse simulation, word-parallel AIG simulation).  Every family exists in a
 ``smoke`` size — seconds, CI-friendly, compared against the committed
 baseline in ``benchmarks/baselines/`` — and a full size for local
 optimisation work.
@@ -28,6 +28,7 @@ from .harness import BenchSpec
 SMOKE_VERIFY_CIRCUITS = ("ctrl", "c432", "s27", "s298")
 SMOKE_SYNTH_CIRCUITS = ("c880", "s344")
 FULL_SYNTH_CIRCUITS = ("c1908", "c3540", "voter", "s838.1")
+SMOKE_FAULT_CIRCUITS = ("ctrl", "s27", "s298")
 
 
 def _verify_workload(
@@ -103,6 +104,42 @@ def _soak_batch_workload(
         return {
             "units": float(state.units_done),
             "new_features": float(state.new_features_total()),
+        }
+
+    return run
+
+
+def _faults_margin_workload(
+    circuits: Sequence[str], kind: str = "jitter", patterns: int = 32
+) -> Callable[[], Mapping[str, float]]:
+    """Margin bisection per circuit: the fault subsystem's hot loop.
+
+    Each margin search re-verifies the circuit once per probe with the
+    fault model installed, so this times the injected simulator path
+    (per-net RNG draws on every emission) end to end.
+    """
+
+    def run() -> Mapping[str, float]:
+        from ..eval.runner import Runner
+        from ..faults import FaultCampaign
+
+        campaign = FaultCampaign(
+            circuits=tuple(circuits),
+            kinds=(kind,),
+            patterns=patterns,
+            margin=True,
+        )
+        report = Runner(jobs=1, cache=None).faults(campaign)
+        if report.failures:
+            raise RuntimeError(
+                f"faults benchmark hit nominal miscompares: "
+                f"{[r.get('circuit') for r in report.failures]}"
+            )
+        return {
+            "units": float(len(report.records)),
+            "probes": float(
+                sum(len(r.get("margin_probes") or ()) for r in report.records)
+            ),
         }
 
     return run
@@ -205,6 +242,12 @@ SPECS: Dict[str, BenchSpec] = _specs(
             tags=("fuzz", "soak"),
         ),
         BenchSpec(
+            "faults-margin-smoke",
+            f"fault-margin bisection, jitter ({', '.join(SMOKE_FAULT_CIRCUITS)}, 32 patterns)",
+            _faults_margin_workload(SMOKE_FAULT_CIRCUITS),
+            tags=("faults",),
+        ),
+        BenchSpec(
             "synthesis-smoke",
             f"synthesis flow, medium effort ({', '.join(SMOKE_SYNTH_CIRCUITS)})",
             _synthesis_workload(SMOKE_SYNTH_CIRCUITS),
@@ -264,10 +307,12 @@ SUITES: Dict[str, Tuple[str, ...]] = {
         "verify-smoke",
         "fuzz-smoke",
         "synthesis-smoke",
+        "faults-margin-smoke",
         "pulse-batch-smoke",
         "aig-sim-smoke",
     ),
     "verify": ("verify-catalog",),
+    "faults": ("faults-margin-smoke",),
     "fuzz": ("fuzz-campaign",),
     "soak": ("soak-batch-smoke", "soak-batch"),
     "synthesis": ("synthesis-flow",),

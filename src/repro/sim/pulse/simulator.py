@@ -79,6 +79,9 @@ class PulseSimulator:
         #: behind it (that would break the monotone-trace invariant the
         #: sort-free traces and bisect-based decode windows rely on).
         self._processed_until = float("-inf")
+        #: Optional fault model perturbing cell emissions (see
+        #: :meth:`set_fault_model`); ``None`` keeps the loop fault-free.
+        self._fault_model = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -136,6 +139,23 @@ class PulseSimulator:
         else:
             observed = self._observed
             self._capture = [name in observed for name in self._net_names]
+
+    def set_fault_model(self, model) -> None:
+        """Install (or with ``None`` remove) a fault model on cell emissions.
+
+        Every output event a cell emits — stateful ``on_pulse`` results
+        and inlined stateless fans alike — is routed through the model's
+        ``emissions`` hook, which may drop it, duplicate it or shift its
+        delivery time (clamped to the causing event, preserving the
+        monotone-trace invariant).  Externally scheduled stimulus pulses
+        are *not* perturbed: stimulus-side faults (clock skew) are
+        applied where the stimulus is built.  The model binds to the
+        live interned net-name table so its per-net streams are keyed on
+        stable names, never ids.
+        """
+        self._fault_model = model
+        if model is not None:
+            model.bind(self._net_names)
 
     # ------------------------------------------------------------------
     # Simulation
@@ -208,6 +228,7 @@ class PulseSimulator:
         limit = float("inf") if until is None else until
         sequence = self._sequence
         frontier = self._processed_until
+        fault = self._fault_model
         processed = 0
         while queue:
             event = heappop(queue)
@@ -228,16 +249,34 @@ class PulseSimulator:
                 # the net so verifiers can surface a dangling-net warning.
                 dangling.add(nid)
                 continue
-            for on_pulse, payload, delay in sinks:
-                if on_pulse is None:
-                    out_time = time + delay
-                    for oid in payload:
-                        sequence += 1
-                        heappush(queue, (out_time, sequence, oid))
-                else:
-                    for out_net, out_time in on_pulse(payload, time):
-                        sequence += 1
-                        heappush(queue, (out_time, sequence, net_id[out_net]))
+            if fault is None:
+                for on_pulse, payload, delay in sinks:
+                    if on_pulse is None:
+                        out_time = time + delay
+                        for oid in payload:
+                            sequence += 1
+                            heappush(queue, (out_time, sequence, oid))
+                    else:
+                        for out_net, out_time in on_pulse(payload, time):
+                            sequence += 1
+                            heappush(queue, (out_time, sequence, net_id[out_net]))
+            else:
+                # Fault-injected variant of the branch above: every cell
+                # emission is routed through the model, which may drop it,
+                # echo it, or shift its delivery (never behind ``time``).
+                for on_pulse, payload, delay in sinks:
+                    if on_pulse is None:
+                        out_time = time + delay
+                        for oid in payload:
+                            for t in fault.emissions(oid, out_time, time):
+                                sequence += 1
+                                heappush(queue, (t, sequence, oid))
+                    else:
+                        for out_net, out_time in on_pulse(payload, time):
+                            oid = net_id[out_net]
+                            for t in fault.emissions(oid, out_time, time):
+                                sequence += 1
+                                heappush(queue, (t, sequence, oid))
         self._sequence = sequence
         self._processed_until = frontier
         self.events_processed += processed
@@ -301,5 +340,9 @@ class PulseSimulator:
         self._pending_sources = [
             element for element in self.elements if isinstance(element, SourceCell)
         ]
+        if self._fault_model is not None:
+            # Rewind the injection streams alongside the sequence counter:
+            # each trajectory of a batched run replays identical faults.
+            self._fault_model.reset_streams()
         for element in self.elements:
             element.reset()

@@ -241,6 +241,13 @@ class BatchedNetlistSimulator:
             windows read — which keeps large batches cheap.  Pass
             ``full_trace=True`` to record every net (needed for
             divergence localisation and waveform inspection).
+        fault_model: Optional :class:`repro.faults.FaultModel`.  Its
+            drop/dup/jitter aspects are installed on the pulse
+            simulator's cell emissions; its ``skew`` aspect shifts every
+            relax-phase stimulus event (input rails, constants and clock
+            pulses of relax phases) built here — modelling skew between
+            the two xSFQ phases.  A zero-magnitude model leaves traces
+            byte-identical to a fault-free run.
     """
 
     def __init__(
@@ -249,11 +256,16 @@ class BatchedNetlistSimulator:
         library: Optional[XsfqLibrary] = None,
         phase_period: Optional[float] = None,
         full_trace: bool = False,
+        fault_model=None,
     ) -> None:
         self.netlist = netlist
         self.library = library or default_library()
         self.full_trace = bool(full_trace)
+        self.fault_model = fault_model
+        self._skew = float(fault_model.skew) if fault_model is not None else 0.0
         self.simulator, self._droc_clocks = build_simulator(netlist, self.library)
+        if fault_model is not None:
+            self.simulator.set_fault_model(fault_model)
         self.is_sequential = bool(self._droc_clocks)
         self.phase_period = (
             float(phase_period)
@@ -331,9 +343,12 @@ class BatchedNetlistSimulator:
         period = self.phase_period
         self.simulator.reset()
         stimulus: Dict[str, List[float]] = {}
+        # Phase skew (fault injection): the relax wave arrives late by
+        # ``skew`` ps relative to the excite wave.
+        skew = self._skew
         for cycle, vector in enumerate(input_vectors):
             excite_start = (2 * cycle) * period
-            relax_start = (2 * cycle + 1) * period
+            relax_start = (2 * cycle + 1) * period + skew
             for pi in self._pi_names:
                 value = int(bool(vector.get(pi, 0)))
                 _drive_input(stimulus, pi, value, excite_start, relax_start, offset=1.0)
@@ -384,10 +399,15 @@ class BatchedNetlistSimulator:
         # preloaded start state.
         if netlist.trigger_nets:
             stimulus.setdefault(TRIGGER_NET, []).append(1.0)
-        # Regular clock pulses at every subsequent phase boundary.
+        # Regular clock pulses at every subsequent phase boundary.  Under
+        # injected phase skew the relax phases — the even-numbered ones,
+        # since logical cycle c occupies the (2c+1, 2c+2) pair — fire
+        # late, modelling skew between the two synchronous xSFQ phases.
+        skew = self._skew
         num_phases = 2 * len(input_vectors) + 2
         for phase in range(1, num_phases + 1):
-            stimulus.setdefault(CLOCK_NET, []).append(phase * period + 1.0)
+            late = skew if phase % 2 == 0 else 0.0
+            stimulus.setdefault(CLOCK_NET, []).append(phase * period + 1.0 + late)
 
         # Primary inputs.  Logical cycle c occupies the phase pair
         # (2c+1, 2c+2): the excite phase starts one phase after the trigger
@@ -409,7 +429,7 @@ class BatchedNetlistSimulator:
         lead = self.input_phase_lead
         for cycle, vector in enumerate(input_vectors):
             excite_start = (2 * cycle + 1 - lead) * period
-            relax_start = (2 * cycle + 2 - lead) * period
+            relax_start = (2 * cycle + 2 - lead) * period + skew
             for pi in self._pi_names:
                 value = int(bool(vector.get(pi, 0)))
                 _drive_input(stimulus, pi, value, excite_start, relax_start, offset=offset)

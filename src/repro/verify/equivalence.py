@@ -223,6 +223,7 @@ def _verify_combinational(
     golden: Aig,
     suite: StimulusSuite,
     sim: BatchedNetlistSimulator,
+    fault_model=None,
 ) -> None:
     num_patterns = len(suite)
     golden_values = simulate_patterns(golden, _pi_words(golden, suite.packed_words()), num_patterns)
@@ -254,24 +255,35 @@ def _verify_combinational(
                 (p.net for p in result.netlist.output_ports if p.name == name), None
             )
             # The batched run only captured the primary-output rails;
-            # localisation needs every internal rail, so re-simulate just
-            # the failing pattern with full capture (patterns are
-            # independent — the alternating protocol returns every cell
-            # to its initial state between cycles).
+            # localisation needs every internal rail, so re-simulate with
+            # full capture.  Fault-free runs replay just the failing
+            # pattern (patterns are independent — the alternating
+            # protocol returns every cell to its initial state between
+            # cycles); fault-injected runs must replay the *whole* batch
+            # on a cloned model, because injection streams are positional
+            # — the draws hitting pattern ``index`` depend on every
+            # emission before it.
+            debug_model = fault_model.clone() if fault_model is not None else None
             debug_sim = BatchedNetlistSimulator(
                 result.netlist,
                 library=sim.library,
                 phase_period=sim.phase_period,
                 full_trace=True,
+                fault_model=debug_model,
             )
-            debug_run = debug_sim.run_combinational([vector])
+            if debug_model is not None:
+                debug_run = debug_sim.run_combinational(suite.as_dicts())
+                window = debug_sim.cycle_window(index)
+            else:
+                debug_run = debug_sim.run_combinational([vector])
+                window = debug_sim.cycle_window(0)
             verdict.first_divergence_net = (
                 _first_divergence_net(
                     result.netlist,
                     result.aig,
                     vector,
                     debug_run.trace,
-                    debug_sim.cycle_window(0),
+                    window,
                 )
                 or port_net
             )
@@ -368,6 +380,7 @@ def verify_result(
     sequence_length: int = 8,
     phase_period: Optional[float] = None,
     library=None,
+    fault_model=None,
 ) -> VerificationVerdict:
     """Batched pulse-level equivalence check of a synthesis result.
 
@@ -385,6 +398,11 @@ def verify_result(
             trajectories of this length).
         phase_period: Override the auto-sized synchronous phase length.
         library: Cell library for delays (defaults to Table 2).
+        fault_model: Optional :class:`repro.faults.FaultModel` injected
+            into the pulse side only — the golden AIG stays fault-free,
+            so the verdict measures whether the injected faults corrupt
+            any decoded output (the robustness campaigns of
+            :mod:`repro.faults` are built on exactly this asymmetry).
 
     Returns:
         A :class:`VerificationVerdict`; never raises on a mismatch.
@@ -402,7 +420,10 @@ def verify_result(
         return verdict
 
     sim = BatchedNetlistSimulator(
-        result.netlist, library=library, phase_period=phase_period
+        result.netlist,
+        library=library,
+        phase_period=phase_period,
+        fault_model=fault_model,
     )
     # Sequential budgets are spent on random trajectories: enumerating the
     # input space once would not exercise the state space.
@@ -416,7 +437,9 @@ def verify_result(
     if sim.is_sequential:
         _verify_sequential(verdict, result, golden_aig, suite, sim, sequence_length)
     else:
-        _verify_combinational(verdict, result, golden_aig, suite, sim)
+        _verify_combinational(
+            verdict, result, golden_aig, suite, sim, fault_model=fault_model
+        )
     verdict.elaborations = sim.elaborations
     verdict.seconds = time.perf_counter() - started
     return verdict

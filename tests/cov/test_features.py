@@ -4,8 +4,10 @@ import pytest
 
 from repro.cov.features import (
     BUCKET_LABELS,
+    FAULT_STATUSES,
     count_bucket,
     corpus_features,
+    fault_features,
     feature_universe,
     generation_features,
     load_corpus_specs,
@@ -118,3 +120,40 @@ class TestRunSide:
         assert "cell:direct:DROC" in universe["cell"]
         assert "verdict:direct:counterexample" in universe["verdict"]
         assert len(universe["cell"]) == 2 * 9  # flows x CellKind members
+
+
+class TestFaultGroup:
+    def test_fault_features_bucket_kind_and_status(self):
+        record = {"fault_kind": "jitter", "status": "tolerated"}
+        assert fault_features("default", record) == [
+            "fault:default:jitter:tolerated"
+        ]
+        record = {"fault_kind": "drop", "status": "miscompare"}
+        assert fault_features("no-retime", record) == [
+            "fault:no-retime:drop:miscompare"
+        ]
+
+    def test_fault_universe_is_the_full_cross_product(self):
+        from repro.faults import fault_kind_names
+
+        universe = feature_universe(["default", "direct"])
+        expected = 2 * len(fault_kind_names()) * len(FAULT_STATUSES)
+        assert len(universe["fault"]) == expected
+        for flow in ("default", "direct"):
+            for status in FAULT_STATUSES:
+                assert f"fault:{flow}:skew:{status}" in universe["fault"]
+
+    def test_fault_features_merge_into_coverage_maps(self):
+        from repro.cov import CoverageMap
+
+        a, b = CoverageMap(), CoverageMap()
+        a.add(fault_features("default", {"fault_kind": "jitter",
+                                         "status": "tolerated"}),
+              unit_digest("ctrl|fault:jitter:mag=2.0:s0", "default"))
+        b.add(fault_features("default", {"fault_kind": "skew",
+                                         "status": "miscompare"}),
+              unit_digest("s27|fault:skew:mag=5.0:s0", "default"))
+        merged = a.merge(b)
+        assert "fault:default:jitter:tolerated" in merged
+        assert "fault:default:skew:miscompare" in merged
+        assert len(merged) == 2

@@ -1,0 +1,104 @@
+"""Unit tests of the seeded per-net fault model (``repro.faults.models``)."""
+
+import pytest
+
+from repro.faults import DUP_SPACING, FaultModel, stream_seed
+
+
+def _bound(model, names):
+    model.bind(list(names))
+    return model
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(ValueError):
+            FaultModel(drop_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultModel(dup_rate=-0.1)
+
+    def test_magnitudes_must_be_non_negative(self):
+        with pytest.raises(ValueError):
+            FaultModel(jitter=-1.0)
+        with pytest.raises(ValueError):
+            FaultModel(skew=-0.5)
+
+    def test_noop_detection(self):
+        assert FaultModel().is_noop()
+        assert not FaultModel(jitter=1.0).is_noop()
+        assert not FaultModel(skew=1.0).is_noop()
+
+
+class TestStreams:
+    def test_stream_seed_is_name_keyed_and_distinct(self):
+        assert stream_seed(0, "net_a") == stream_seed(0, "net_a")
+        assert stream_seed(0, "net_a") != stream_seed(0, "net_b")
+        assert stream_seed(0, "net_a") != stream_seed(1, "net_a")
+
+    def test_zero_magnitude_returns_time_unchanged(self):
+        model = _bound(FaultModel(), ["n0", "n1"])
+        assert model.emissions(0, 12.5, 10.0) == (12.5,)
+        assert model.emissions(1, 7.0, 7.0) == (7.0,)
+        assert model.injection_counts() == {"drop": 0, "dup": 0, "jitter": 0}
+
+    def test_jitter_is_deterministic_per_net(self):
+        a = _bound(FaultModel(jitter=3.0, seed=5), ["x", "y"])
+        b = _bound(FaultModel(jitter=3.0, seed=5), ["x", "y"])
+        seq_a = [a.emissions(0, 100.0, 90.0) for _ in range(50)]
+        seq_b = [b.emissions(0, 100.0, 90.0) for _ in range(50)]
+        assert seq_a == seq_b
+        # A different net name draws a different stream.
+        assert seq_a != [b.emissions(1, 100.0, 90.0) for _ in range(50)]
+
+    def test_jitter_bounded_and_clamped_to_cause(self):
+        model = _bound(FaultModel(jitter=4.0, seed=0), ["n"])
+        for _ in range(200):
+            (out,) = model.emissions(0, 10.0, 9.0)
+            assert 9.0 <= out <= 14.0  # clamped below, bounded above
+
+    def test_drop_rate_one_swallows_everything(self):
+        model = _bound(FaultModel(drop_rate=1.0), ["n"])
+        assert model.emissions(0, 5.0, 4.0) == ()
+        assert model.injection_counts()["drop"] == 1
+
+    def test_dup_rate_one_echoes_everything(self):
+        model = _bound(FaultModel(dup_rate=1.0), ["n"])
+        out = model.emissions(0, 5.0, 4.0)
+        assert out == (5.0, 5.0 + DUP_SPACING)
+        assert model.injection_counts()["dup"] == 1
+
+    def test_reset_streams_replays_identically(self):
+        model = _bound(FaultModel(jitter=2.0, drop_rate=0.3, seed=9), ["n"])
+        first = [model.emissions(0, 50.0, 40.0) for _ in range(30)]
+        model.reset_streams()
+        second = [model.emissions(0, 50.0, 40.0) for _ in range(30)]
+        assert first == second
+
+    def test_totals_survive_reset_streams(self):
+        model = _bound(FaultModel(jitter=1.0), ["n"])
+        model.emissions(0, 1.0, 0.0)
+        model.reset_streams()
+        model.emissions(0, 1.0, 0.0)
+        assert model.injection_counts()["jitter"] == 2
+
+
+class TestCloneAndLog:
+    def test_clone_replays_the_same_stream(self):
+        model = _bound(FaultModel(jitter=2.0, seed=3), ["a", "b"])
+        draws = [model.emissions(0, 10.0, 0.0) for _ in range(10)]
+        clone = _bound(model.clone(), ["a", "b"])
+        assert clone.params() == model.params()
+        # A clone starts with fresh streams and fresh counters ...
+        assert clone.injection_counts() == {"drop": 0, "dup": 0, "jitter": 0}
+        # ... and replays the original's draw sequence exactly.
+        assert [clone.emissions(0, 10.0, 0.0) for _ in range(10)] == draws
+        assert clone.injection_counts() == model.injection_counts()
+
+    def test_injection_log_gated_on_record_log(self):
+        silent = _bound(FaultModel(drop_rate=1.0), ["n"])
+        silent.emissions(0, 1.0, 0.0)
+        with pytest.raises(ValueError):
+            silent.injection_log()
+        logged = _bound(FaultModel(drop_rate=1.0, record_log=True), ["n"])
+        logged.emissions(0, 1.0, 0.0)
+        assert logged.injection_log() == [("drop", "n", 1.0)]

@@ -1,0 +1,87 @@
+"""The no-op guarantee: zero-magnitude faults reproduce nominal traces.
+
+A zero-rate / zero-magnitude :class:`FaultModel` still routes every cell
+emission through the injection hook — that is the point: the *code path*
+under test is the faulty one, and its output must be byte-identical to a
+simulator without any model installed.  ``ReferencePulseSimulator``
+remains the fault-free differential oracle throughout.
+"""
+
+import pytest
+
+from repro.circuits import build
+from repro.core import Flow
+from repro.faults import FaultModel, default_scenario
+from repro.sim.pulse import BatchedNetlistSimulator
+
+#: Catalog samples: combinational + sequential, small enough to be fast.
+SAMPLES = ("ctrl", "int2float", "s27", "s298")
+
+
+@pytest.fixture(scope="module")
+def synthesized():
+    return {name: Flow.default().run(build(name, "quick")) for name in SAMPLES}
+
+
+def _vectors(sim, count=6):
+    return [
+        {pi: (i + j) % 2 for j, pi in enumerate(sim.pi_names)}
+        for i in range(count)
+    ]
+
+
+def _run(sim, vectors):
+    if sim.is_sequential:
+        return sim.run_sequence(vectors)
+    return sim.run_combinational(vectors)
+
+
+@pytest.mark.parametrize("name", SAMPLES)
+@pytest.mark.parametrize("kind", ["drop", "dup", "jitter", "skew"])
+def test_zero_magnitude_scenario_is_bit_exact(synthesized, name, kind):
+    result = synthesized[name]
+    plain = BatchedNetlistSimulator(result.netlist, full_trace=True)
+    model = default_scenario(kind, seed=0).with_magnitude(0.0).model()
+    assert model.is_noop()
+    faulty = BatchedNetlistSimulator(
+        result.netlist, full_trace=True, fault_model=model
+    )
+    vectors = _vectors(plain)
+    nominal, injected = _run(plain, vectors), _run(faulty, vectors)
+    assert injected.trace == nominal.trace
+    assert injected.outputs == nominal.outputs
+    assert model.injection_counts() == {"drop": 0, "dup": 0, "jitter": 0}
+
+
+def test_zero_magnitude_survives_resets(synthesized):
+    """Sequential batching resets between trajectories; still bit-exact."""
+    result = synthesized["s27"]
+    plain = BatchedNetlistSimulator(result.netlist, full_trace=True)
+    faulty = BatchedNetlistSimulator(
+        result.netlist, full_trace=True, fault_model=FaultModel()
+    )
+    for offset in range(3):
+        vectors = [
+            {pi: (i + offset) % 2 for pi in plain.pi_names} for i in range(4)
+        ]
+        assert faulty.run_sequence(vectors).trace == plain.run_sequence(vectors).trace
+
+
+def test_reference_simulator_has_no_fault_hook():
+    """The differential oracle stays fault-free by construction."""
+    from repro.sim.pulse import ReferencePulseSimulator
+
+    assert not hasattr(ReferencePulseSimulator, "set_fault_model")
+
+
+def test_nonzero_jitter_changes_internal_timing(synthesized):
+    """Sanity: the hook is live — a real magnitude perturbs the trace."""
+    result = synthesized["ctrl"]
+    plain = BatchedNetlistSimulator(result.netlist, full_trace=True)
+    model = default_scenario("jitter", seed=0).model()  # 2 ps
+    faulty = BatchedNetlistSimulator(
+        result.netlist, full_trace=True, fault_model=model
+    )
+    vectors = _vectors(plain)
+    assert faulty.run_combinational(vectors).trace != plain.run_combinational(vectors).trace
+    assert model.injection_counts()["jitter"] > 0
