@@ -1,4 +1,4 @@
-"""Packaging for the xSFQ reproduction (src layout, no third-party deps).
+"""Packaging for the xSFQ reproduction (src layout, numpy as the only dep).
 
 Kept as a plain ``setup.py`` so editable installs work in offline
 environments that lack the ``wheel`` package (``python setup.py develop``
@@ -35,6 +35,10 @@ setup(
     package_dir={"": "src"},
     packages=find_packages("src"),
     python_requires=">=3.9",
+    # numpy backs the word-parallel AIG sweep and the SoA pulse kernel
+    # (repro.aig.simulate / repro.sim.pulse.soa).  The scalar kernels keep
+    # working without it — see repro._compat.load_numpy for the fallback.
+    install_requires=["numpy>=1.21"],
     entry_points={
         "console_scripts": [
             "repro=repro.eval.cli:main",

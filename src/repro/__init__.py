@@ -41,7 +41,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 from .core import (  # noqa: E402
     Flow,

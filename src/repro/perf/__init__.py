@@ -13,6 +13,7 @@ from .harness import (
     BenchReport,
     BenchResult,
     BenchSpec,
+    RateDelta,
     compare_reports,
     load_bench,
     render_comparison,
@@ -29,6 +30,7 @@ __all__ = [
     "BenchReport",
     "BenchResult",
     "BenchSpec",
+    "RateDelta",
     "SPECS",
     "SUITES",
     "compare_reports",

@@ -303,10 +303,40 @@ class BenchDelta:
 
 
 @dataclass
+class RateDelta:
+    """Throughput-rate delta of one benchmark counter against the baseline.
+
+    Rates are informational: the regression gate runs on wall time only,
+    so a rate that is ``new`` (the baseline predates the counter — e.g. a
+    benchmark refreshed after a kernel grew a new domain counter) or
+    ``gone`` (the counter vanished from the current run) never fails the
+    comparison; it is surfaced instead of crashing or being silently
+    skipped.
+    """
+
+    name: str
+    rate: str
+    baseline: Optional[float]
+    current: Optional[float]
+    delta_pct: Optional[float]
+
+    @property
+    def status(self) -> str:
+        if self.baseline is None:
+            return "new"
+        if self.current is None:
+            return "gone"
+        if self.delta_pct is not None and self.delta_pct > 0:
+            return "faster"
+        return "ok"
+
+
+@dataclass
 class BenchComparison:
     """Diff of a fresh report against a baseline report."""
 
     deltas: List[BenchDelta] = field(default_factory=list)
+    rate_deltas: List[RateDelta] = field(default_factory=list)
     missing: List[str] = field(default_factory=list)
     fail_on_regress: Optional[float] = None
 
@@ -328,13 +358,19 @@ def compare_reports(
     baseline: BenchReport,
     fail_on_regress: Optional[float] = None,
 ) -> BenchComparison:
-    """Compare best wall times by benchmark name.
+    """Compare best wall times (and throughput rates) by benchmark name.
 
     ``fail_on_regress`` is a percentage: a benchmark whose best wall time
     grew by more than that over the baseline counts as a regression.
     Benchmarks absent from the baseline are flagged ``new`` (never a
     failure); baseline entries absent from the current run are listed in
     ``missing`` so a silently skipped workload cannot masquerade as green.
+
+    Throughput rates (``*_per_s``) are additionally diffed per counter
+    into ``rate_deltas``.  A counter the baseline predates is reported
+    with status ``new`` rather than crashing the comparison or being
+    silently dropped — refreshed baselines regularly gain counters when
+    kernels or workloads grow; rates never affect the regression gate.
     """
     baseline_by_name = {result.name: result for result in baseline.results}
     comparison = BenchComparison(fail_on_regress=fail_on_regress)
@@ -343,6 +379,16 @@ def compare_reports(
         seen.add(result.name)
         base = baseline_by_name.get(result.name)
         current_s = float(result.wall_s.get("min", 0.0))
+        base_rates: Mapping[str, float] = base.rates if base is not None else {}
+        for rate in sorted(set(result.rates) | set(base_rates)):
+            cur_value = result.rates.get(rate)
+            base_value = base_rates.get(rate) if base is not None else None
+            delta_pct = None
+            if cur_value is not None and base_value:
+                delta_pct = (cur_value - base_value) / base_value * 100.0
+            comparison.rate_deltas.append(
+                RateDelta(result.name, rate, base_value, cur_value, delta_pct)
+            )
         if base is None:
             comparison.deltas.append(BenchDelta(result.name, None, current_s, None))
             continue
@@ -392,7 +438,7 @@ def render_results_table(report: BenchReport) -> str:
 
 
 def render_comparison(comparison: BenchComparison) -> str:
-    """Text table for ``repro bench --compare``."""
+    """Text tables for ``repro bench --compare`` (wall gate + rate info)."""
     from ..core import format_table
 
     rows = []
@@ -408,6 +454,28 @@ def render_comparison(comparison: BenchComparison) -> str:
         )
     for name in comparison.missing:
         rows.append([name, "?", "-", "-", "MISSING"])
-    return format_table(
+    table = format_table(
         ["Benchmark", "Baseline (s)", "Current (s)", "Delta", "Status"], rows
     )
+    if not comparison.rate_deltas:
+        return table
+
+    def fmt(value: Optional[float]) -> str:
+        return "-" if value is None else f"{value:,.0f}"
+
+    rate_rows = [
+        [
+            delta.name,
+            delta.rate,
+            fmt(delta.baseline),
+            fmt(delta.current),
+            "-" if delta.delta_pct is None else f"{delta.delta_pct:+.1f}%",
+            delta.status,
+        ]
+        for delta in comparison.rate_deltas
+    ]
+    rate_table = format_table(
+        ["Benchmark", "Rate", "Baseline", "Current", "Delta", "Status"],
+        rate_rows,
+    )
+    return f"{table}\n\nThroughput rates (informational, not gated):\n{rate_table}"

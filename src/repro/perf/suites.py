@@ -207,6 +207,44 @@ def _aig_sim_workload(
     return run
 
 
+@lru_cache(maxsize=None)
+def _wide_aig(num_pis: int, width: int, depth: int):
+    """Deterministic wide synthetic DAG exercising the numpy AIG kernel.
+
+    The catalog circuits are narrow (mean AND-level width below ~10), so
+    the ``auto`` dispatch correctly keeps them on the bigint kernel; a
+    dedicated wide graph is needed to benchmark the levelised numpy
+    sweep at its operating point.
+    """
+    from ..aig.graph import Aig
+
+    rng = random.Random(0xA16)
+    aig = Aig(f"wide{width}x{depth}")
+    layer = [aig.add_pi() for _ in range(num_pis)]
+    for _ in range(depth):
+        layer = [
+            aig.add_and(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1))
+            for a, b in (rng.sample(layer, 2) for _ in range(width))
+        ]
+    for lit in layer[: min(8, len(layer))]:
+        aig.add_po(lit)
+    return aig
+
+
+def _aig_sim_wide_workload(
+    num_patterns: int, rounds: int, width: int = 1500, depth: int = 8
+) -> Callable[[], Mapping[str, float]]:
+    def run() -> Mapping[str, float]:
+        from ..aig.simulate import simulate_random
+
+        aig = _wide_aig(64, width, depth)
+        for round_index in range(rounds):
+            simulate_random(aig, num_patterns=num_patterns, seed=round_index)
+        return {"patterns": float(num_patterns * rounds)}
+
+    return run
+
+
 def _specs(entries: Sequence[BenchSpec]) -> Dict[str, BenchSpec]:
     return {spec.name: spec for spec in entries}
 
@@ -266,6 +304,18 @@ SPECS: Dict[str, BenchSpec] = _specs(
             tags=("kernel",),
         ),
         BenchSpec(
+            "aig-sim-wide-smoke",
+            "levelised numpy AIG sweep, wide synthetic DAG (12k nodes, 64-bit words x 1024 rounds)",
+            _aig_sim_wide_workload(num_patterns=64, rounds=1024),
+            tags=("kernel",),
+        ),
+        BenchSpec(
+            "aig-sim-wide",
+            "levelised numpy AIG sweep, wide synthetic DAG (12k nodes, 256-bit words x 4096 rounds)",
+            _aig_sim_wide_workload(num_patterns=256, rounds=4096),
+            tags=("kernel",),
+        ),
+        BenchSpec(
             "verify-catalog",
             "full catalog verification campaign (37 circuits, 256 patterns)",
             _verify_workload(None, patterns=256),
@@ -310,19 +360,21 @@ SUITES: Dict[str, Tuple[str, ...]] = {
         "faults-margin-smoke",
         "pulse-batch-smoke",
         "aig-sim-smoke",
+        "aig-sim-wide-smoke",
     ),
     "verify": ("verify-catalog",),
     "faults": ("faults-margin-smoke",),
     "fuzz": ("fuzz-campaign",),
     "soak": ("soak-batch-smoke", "soak-batch"),
     "synthesis": ("synthesis-flow",),
-    "kernels": ("pulse-batch", "aig-sim"),
+    "kernels": ("pulse-batch", "aig-sim", "aig-sim-wide"),
     "full": (
         "verify-catalog",
         "fuzz-campaign",
         "synthesis-flow",
         "pulse-batch",
         "aig-sim",
+        "aig-sim-wide",
     ),
 }
 

@@ -22,6 +22,8 @@ import heapq
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
+from ..._compat import scalar_kernels_forced
+from . import soa
 from .elements import (
     JtlCell,
     MergerCell,
@@ -82,6 +84,16 @@ class PulseSimulator:
         #: Optional fault model perturbing cell emissions (see
         #: :meth:`set_fault_model`); ``None`` keeps the loop fault-free.
         self._fault_model = None
+        #: ``None`` follows the module default (numpy present and
+        #: ``REPRO_SCALAR_KERNELS`` unset); ``True``/``False`` force the
+        #: struct-of-arrays fast path on or off for this instance.
+        self.vectorize: Optional[bool] = None
+        #: Number of :meth:`run` calls served by the SoA fast path (the
+        #: differential tests assert both engagement and fallback).
+        self.vectorized_runs = 0
+        #: Compiled feed-forward plan: ``None`` = not compiled for the
+        #: current element set, ``False`` = netlist ineligible.
+        self._ff_plan = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -100,6 +112,7 @@ class PulseSimulator:
     def add_element(self, element: PulseElement) -> PulseElement:
         """Register an element and its input connections."""
         self.elements.append(element)
+        self._ff_plan = None  # structural change: recompile the SoA plan
         if type(element) in _STATELESS_TYPES:
             # Stateless fan cell: a pulse on any input port becomes one
             # delayed event per output net (all outputs for a splitter,
@@ -194,7 +207,17 @@ class PulseSimulator:
             time order (events pop off the heap monotonically, so no sort
             is needed).  The lists are live internal buffers shared with
             later resumed runs; treat them as read-only.
+
+        Fresh, fault-free runs of feed-forward netlists are served by the
+        struct-of-arrays fast path (:mod:`repro.sim.pulse.soa`) when its
+        checks pass; every other run — resumed, sequential, faulted,
+        ineligible — takes the scalar event loop below.  Both produce
+        bit-identical traces, counters and dangling records.
         """
+        if self._vectorize_enabled():
+            result = self._run_vectorized(stimulus, until)
+            if result is not None:
+                return result
         if stimulus:
             frontier = self._processed_until
             for net, times in stimulus.items():
@@ -282,6 +305,70 @@ class PulseSimulator:
         self.events_processed += processed
         global _TOTAL_EVENTS
         _TOTAL_EVENTS += processed
+        return {
+            name: times
+            for name, times in zip(self._net_names, trace_lists)
+            if times
+        }
+
+    def _vectorize_enabled(self) -> bool:
+        """Whether this :meth:`run` call may try the SoA fast path.
+
+        Only fresh (never-run / freshly reset) fault-free states qualify:
+        resumed runs carry pending heap events and cell state that only
+        the scalar loop models.
+        """
+        if self.vectorize is not None:
+            if not self.vectorize:
+                return False
+        elif scalar_kernels_forced():
+            return False
+        return (
+            self._fault_model is None
+            and not self._queue
+            and self._processed_until == float("-inf")
+        )
+
+    def _run_vectorized(
+        self,
+        stimulus: Optional[Mapping[str, Sequence[float]]],
+        until: Optional[float],
+    ) -> Optional[Dict[str, List[float]]]:
+        """Try the SoA fast path; commit and return its trace, or ``None``."""
+        plan = self._ff_plan
+        if plan is None:
+            plan = soa.compile_plan(self)
+            # Cache ``False`` for ineligible netlists so the (linear)
+            # compile is attempted once per structure, not once per run.
+            self._ff_plan = plan if plan is not None else False
+        if plan is False or plan is None:
+            return None
+        outcome = soa.run_vectorized(self, plan, stimulus, until)
+        if outcome is None:
+            return None
+        net_pulses, total, frontier = outcome
+        trace_lists = self._trace_lists
+        capture = self._capture
+        sink_table = self._sink_table
+        dangling = self._dangling_ids
+        for nid, pulses in enumerate(net_pulses):
+            if pulses is None:
+                continue
+            if capture[nid]:
+                trace_lists[nid].extend(pulses.tolist())
+            if not sink_table[nid]:
+                dangling.add(nid)
+        self._pending_sources.clear()
+        # The scalar loop bumps ``_sequence`` once per scheduled event;
+        # tracking the same count keeps a scalar run resumed *after* a
+        # vectorized one ordering ties exactly as an all-scalar history.
+        self._sequence += total
+        if frontier > self._processed_until:
+            self._processed_until = frontier
+        self.events_processed += total
+        self.vectorized_runs += 1
+        global _TOTAL_EVENTS
+        _TOTAL_EVENTS += total
         return {
             name: times
             for name, times in zip(self._net_names, trace_lists)

@@ -1,0 +1,223 @@
+"""Struct-of-arrays fast path for feed-forward pulse netlists.
+
+The scalar event loop in :mod:`repro.sim.pulse.simulator` pays Python-level
+heap traffic for every pulse.  Synthesised combinational xSFQ netlists do
+not need any of that machinery: they are acyclic, every cell is one of
+LA / FA / splitter / merger / JTL, and under the alternating dual-rail
+protocol each cell's pulse stream can be computed *per net* as a sorted
+float64 array:
+
+* **LA** (C element) pairs the i-th pulse of each input and fires at
+  ``max(a_i, b_i) + delay``;
+* **FA** (inverse C element) fires at ``min(a_i, b_i) + delay`` and
+  absorbs the other pulse of the pair;
+* **splitter / JTL** delay-shift their input onto each output;
+* **merger** contributes a delay-shifted copy of each input to its output
+  (net finalisation sorts the merged contributions).
+
+The pairing for LA/FA is only valid when consecutive pulse pairs do not
+interleave (``max(pair i) < min(pair i+1)``) and both inputs carry the
+same number of pulses — exactly the protocol the batched stimulus
+generators produce.  Whenever any check fails — cycles, unknown or
+subclassed cell types, interleaved pairs, events beyond ``until``,
+non-float stimulus times — the fast path aborts *without having mutated
+any simulator state* and the caller falls back to the scalar event loop,
+which remains the semantics oracle (fault injection and sequential
+netlists always take the scalar path).
+
+The differential suites in ``tests/sim/test_kernel_differential.py`` pin
+traces, event counts, dangling-net records and decode results bit-equal
+to the scalar core and to ``ReferencePulseSimulator``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..._compat import load_numpy
+from .elements import (
+    FaCell,
+    JtlCell,
+    LaCell,
+    MergerCell,
+    SourceCell,
+    SplitterCell,
+)
+
+#: Op kinds of the compiled plan.
+_OP_LA = 0
+_OP_FA = 1
+_OP_FAN = 2  # delay-shift one input onto one or more outputs
+
+#: Cell types the fast path understands.  Exact types only: subclasses
+#: (test probes) may override ``on_pulse`` and must run scalar.
+_PAIRED_TYPES = {LaCell: _OP_LA, FaCell: _OP_FA}
+_FAN_TYPES = (SplitterCell, MergerCell, JtlCell)
+
+
+class FeedForwardPlan:
+    """Topologically ordered vector ops compiled from a feed-forward netlist."""
+
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: Sequence[Tuple[int, Tuple[int, ...], Tuple[int, ...], float]]) -> None:
+        #: ``(kind, input net ids, output net ids, delay)`` in dataflow order.
+        self.ops = list(ops)
+
+
+def compile_plan(sim) -> Optional[FeedForwardPlan]:
+    """Compile ``sim``'s element graph into a :class:`FeedForwardPlan`.
+
+    Returns ``None`` when the netlist is ineligible: numpy missing, any
+    element outside the supported exact types, an LA/FA without exactly
+    two inputs, or a combinational cycle.
+    """
+    if load_numpy() is None:
+        return None
+
+    net_id = sim._net_id
+    ops: List[Tuple[int, Tuple[int, ...], Tuple[int, ...], float]] = []
+    for element in sim.elements:
+        cell_type = type(element)
+        if cell_type is SourceCell:
+            # Sources carry no dataflow deps; their emissions enter as
+            # stimulus-like contributions at run time.
+            continue
+        kind = _PAIRED_TYPES.get(cell_type)
+        if kind is not None:
+            if len(element.inputs) != 2 or not element.outputs:
+                return None
+            ins = (net_id[element.inputs[0]], net_id[element.inputs[1]])
+            ops.append((kind, ins, (net_id[element.outputs[0]],), element.delay))
+        elif cell_type in _FAN_TYPES:
+            outs = tuple(net_id[net] for net in element.outputs)
+            if cell_type is not SplitterCell:
+                outs = outs[:1]
+            if not outs:
+                return None
+            # Each input contributes an independent delay-fan; merger
+            # confluence happens when the output net is finalised.
+            for net in element.inputs:
+                ops.append((_OP_FAN, (net_id[net],), outs, element.delay))
+        else:
+            return None
+
+    # Kahn topological sort over net producers.  ``indegree[i]`` counts,
+    # with multiplicity, the producer ops feeding op i's input nets.
+    producers: Dict[int, List[int]] = {}
+    for index, (_, _, outs, _) in enumerate(ops):
+        for out in outs:
+            producers.setdefault(out, []).append(index)
+    consumers: Dict[int, List[int]] = {}
+    indegree = [0] * len(ops)
+    for index, (_, ins, _, _) in enumerate(ops):
+        for net in ins:
+            indegree[index] += len(producers.get(net, ()))
+            consumers.setdefault(net, []).append(index)
+    ready = [index for index, degree in enumerate(indegree) if degree == 0]
+    order: List[int] = []
+    while ready:
+        index = ready.pop()
+        order.append(index)
+        for out in ops[index][2]:
+            for consumer in consumers.get(out, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    ready.append(consumer)
+    if len(order) != len(ops):
+        return None  # combinational cycle: scalar loop handles it
+    return FeedForwardPlan([ops[index] for index in order])
+
+
+def run_vectorized(sim, plan: FeedForwardPlan, stimulus, until):
+    """Evaluate one fresh run on the SoA arrays, without mutating ``sim``.
+
+    Returns ``(net_pulses, total_events, frontier)`` on success — where
+    ``net_pulses[nid]`` is a sorted float64 array (or ``None``) of every
+    pulse on that net — or ``None`` when the run must fall back to the
+    scalar event loop.  Interning stimulus net names is the only side
+    effect, and it is idempotent with what the scalar path would do.
+    """
+    np = load_numpy()
+    if np is None:
+        return None
+
+    contrib: Dict[int, List[object]] = {}
+
+    def add_stimulus(nid: int, times) -> bool:
+        arr = np.asarray(times, dtype=np.float64)
+        if arr.ndim != 1:
+            return False
+        if arr.size:
+            contrib.setdefault(nid, []).append(np.sort(arr))
+        return True
+
+    if stimulus:
+        for net, times in stimulus.items():
+            # Scalar traces keep stimulus times exactly as given; ints
+            # would be recorded as ints there but as floats here, so any
+            # non-float time sends the whole run to the scalar loop.
+            if not all(type(t) is float for t in times):
+                return None
+            if not add_stimulus(sim._intern(net), times):
+                return None
+    for element in sim._pending_sources:
+        times = element.times
+        if not all(type(t) is float for t in times):
+            return None
+        if not add_stimulus(sim._net_id[element.outputs[0]], times):
+            return None
+
+    empty = np.empty(0, dtype=np.float64)
+    finalized: Dict[int, object] = {}
+
+    def final(nid: int):
+        arr = finalized.get(nid)
+        if arr is None:
+            parts = contrib.get(nid)
+            if not parts:
+                arr = empty
+            elif len(parts) == 1:
+                arr = parts[0]
+            else:
+                arr = np.sort(np.concatenate(parts))
+            finalized[nid] = arr
+        return arr
+
+    for kind, ins, outs, delay in plan.ops:
+        if kind == _OP_FAN:
+            pulses = final(ins[0])
+            if pulses.size:
+                shifted = pulses + delay
+                for out in outs:
+                    contrib.setdefault(out, []).append(shifted)
+            continue
+        a = final(ins[0])
+        b = final(ins[1])
+        if a.size != b.size:
+            return None  # unpaired pulses: cell state carries across, go scalar
+        if a.size:
+            upper = np.maximum(a, b)
+            lower = np.minimum(a, b)
+            if a.size > 1 and not (upper[:-1] < lower[1:]).all():
+                return None  # interleaved pairs: scalar state machine decides
+            out_times = (upper if kind == _OP_LA else lower) + delay
+            contrib.setdefault(outs[0], []).append(out_times)
+
+    net_pulses: List[Optional[object]] = [None] * len(sim._net_names)
+    total = 0
+    frontier = float("-inf")
+    for nid in range(len(net_pulses)):
+        arr = final(nid)
+        if arr.size:
+            net_pulses[nid] = arr
+            total += int(arr.size)
+            last = float(arr[-1])
+            if last > frontier:
+                frontier = last
+    limit = float("inf") if until is None else until
+    if frontier > limit:
+        # Some events would stay pending past ``until``; resumable
+        # pending state only exists in the scalar loop.
+        return None
+    return net_pulses, total, frontier

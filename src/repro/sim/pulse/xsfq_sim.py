@@ -248,6 +248,12 @@ class BatchedNetlistSimulator:
             pulses of relax phases) built here — modelling skew between
             the two xSFQ phases.  A zero-magnitude model leaves traces
             byte-identical to a fault-free run.
+        vectorize: Forwarded to :attr:`PulseSimulator.vectorize` —
+            ``None`` (default) lets eligible fault-free combinational
+            batches run on the struct-of-arrays fast path, ``False``
+            forces the scalar event loop (the differential tests pin the
+            two bit-identical), ``True`` insists on trying the fast path
+            even when ``REPRO_SCALAR_KERNELS`` is set.
     """
 
     def __init__(
@@ -257,6 +263,7 @@ class BatchedNetlistSimulator:
         phase_period: Optional[float] = None,
         full_trace: bool = False,
         fault_model=None,
+        vectorize: Optional[bool] = None,
     ) -> None:
         self.netlist = netlist
         self.library = library or default_library()
@@ -264,6 +271,7 @@ class BatchedNetlistSimulator:
         self.fault_model = fault_model
         self._skew = float(fault_model.skew) if fault_model is not None else 0.0
         self.simulator, self._droc_clocks = build_simulator(netlist, self.library)
+        self.simulator.vectorize = vectorize
         if fault_model is not None:
             self.simulator.set_fault_model(fault_model)
         self.is_sequential = bool(self._droc_clocks)

@@ -226,6 +226,9 @@ def _verify_combinational(
     fault_model=None,
 ) -> None:
     num_patterns = len(suite)
+    # ``simulate_patterns`` returns a Mapping — a plain dict from the
+    # bigint kernel or a lazy PackedValues view from the numpy kernel;
+    # only the PO words are materialised here either way.
     golden_values = simulate_patterns(golden, _pi_words(golden, suite.packed_words()), num_patterns)
     golden_outputs = {
         name: lit_values(golden_values, lit, num_patterns)

@@ -1,0 +1,178 @@
+"""Differential wall for the numpy AIG simulation kernel.
+
+Pins ``simulate_patterns(backend="numpy")`` bit-equal to the bigint
+kernel and to :func:`simulate_patterns_reference` across every
+``repro.gen`` family, plus the packing edge cases the word-parallel
+layout introduces: multi-word boundaries (63/64/65), zero-pattern
+batches, 1-PI and constant-only graphs, dirty bits above
+``num_patterns``, and the lazy :class:`PackedValues` mapping contract.
+"""
+
+import random
+
+import pytest
+
+from repro.aig import network_to_aig
+from repro.aig.graph import Aig, TRUE, FALSE
+from repro.aig.simulate import (
+    PackedValues,
+    select_backend,
+    simulate_patterns,
+    simulate_patterns_reference,
+)
+from repro.gen import FAMILIES, generate_specs
+
+FAMILY_SPECS = [
+    spec
+    for family in sorted(FAMILIES)
+    for spec in generate_specs(3, seed=19, families=[family])
+]
+
+
+def _input_nodes(aig):
+    return list(aig.pi_nodes) + [latch.node for latch in aig.latches]
+
+
+def _random_patterns(aig, num_patterns, seed=0):
+    rng = random.Random(seed)
+    return {node: rng.getrandbits(max(num_patterns, 1)) for node in _input_nodes(aig)}
+
+
+def _wide_aig(num_pis=48, width=900, depth=6, seed=5):
+    """Synthetic AIG wide enough for the auto heuristic to pick numpy."""
+    rng = random.Random(seed)
+    aig = Aig("wide")
+    layer = [aig.add_pi() for _ in range(num_pis)]
+    for _ in range(depth):
+        layer = [
+            aig.add_and(a ^ rng.randint(0, 1), b ^ rng.randint(0, 1))
+            for a, b in (rng.sample(layer, 2) for _ in range(width))
+        ]
+    for lit in layer[:4]:
+        aig.add_po(lit)
+    return aig
+
+
+@pytest.mark.parametrize("spec", FAMILY_SPECS, ids=lambda s: s.name())
+@pytest.mark.parametrize("num_patterns", [64, 65])
+def test_numpy_kernel_matches_references_on_families(spec, num_patterns):
+    aig = network_to_aig(spec.build())
+    patterns = _random_patterns(aig, num_patterns, seed=11)
+    via_numpy = simulate_patterns(aig, patterns, num_patterns, backend="numpy")
+    via_int = simulate_patterns(aig, patterns, num_patterns, backend="int")
+    reference = simulate_patterns_reference(aig, patterns, num_patterns)
+    assert isinstance(via_numpy, PackedValues)
+    assert via_numpy == via_int
+    assert via_int == via_numpy  # reflected comparison against a plain dict
+    assert all(via_numpy[node] == reference[node] for node in reference)
+
+
+@pytest.mark.parametrize("num_patterns", [0, 1, 63, 64, 65, 128, 129, 200])
+def test_multi_word_packing_boundaries(num_patterns):
+    aig = _wide_aig()
+    patterns = _random_patterns(aig, num_patterns, seed=num_patterns)
+    fast = simulate_patterns(aig, patterns, num_patterns, backend="numpy")
+    slow = simulate_patterns(aig, patterns, num_patterns, backend="int")
+    assert fast == slow
+    if num_patterns == 0:
+        assert all(fast[node] == 0 for node in aig.nodes())
+
+
+def test_dirty_bits_above_num_patterns_are_masked_identically():
+    aig = _wide_aig(width=64, depth=4)
+    rng = random.Random(2)
+    patterns = {node: rng.getrandbits(300) for node in _input_nodes(aig)}
+    for num_patterns in (7, 64, 65):
+        fast = simulate_patterns(aig, patterns, num_patterns, backend="numpy")
+        slow = simulate_patterns(aig, patterns, num_patterns, backend="int")
+        assert fast == slow
+
+
+def test_single_pi_and_constant_only_graphs():
+    single = Aig("single")
+    pi = single.add_pi("a")
+    single.add_po(pi, "y")
+    patterns = {node: 0b1011 for node in single.pi_nodes}
+    fast = simulate_patterns(single, patterns, 4, backend="numpy")
+    slow = simulate_patterns(single, patterns, 4, backend="int")
+    assert fast == slow
+    assert fast[single.pi_nodes[0]] == 0b1011
+
+    consts = Aig("consts")
+    consts.add_po(FALSE, "zero")
+    consts.add_po(TRUE, "one")
+    fast = simulate_patterns(consts, {}, 3, backend="numpy")
+    slow = simulate_patterns(consts, {}, 3, backend="int")
+    assert fast == slow
+    assert dict(fast) == {0: 0}
+
+
+def test_strict_missing_inputs_error_is_backend_independent():
+    aig = _wide_aig(width=32, depth=3)
+    patterns = _random_patterns(aig, 8)
+    removed = sorted(patterns)[:2]
+    for node in removed:
+        del patterns[node]
+    messages = {}
+    for backend in ("numpy", "int"):
+        with pytest.raises(KeyError) as err:
+            simulate_patterns(aig, patterns, 8, backend=backend)
+        messages[backend] = str(err.value)
+    assert messages["numpy"] == messages["int"]
+    assert all(str(node) in messages["numpy"] for node in removed)
+    # strict=False zero-fills on both backends
+    fast = simulate_patterns(aig, patterns, 8, strict=False, backend="numpy")
+    slow = simulate_patterns(aig, patterns, 8, strict=False, backend="int")
+    assert fast == slow
+
+
+def test_packed_values_mapping_contract():
+    aig = _wide_aig(width=48, depth=3)
+    patterns = _random_patterns(aig, 10, seed=9)
+    values = simulate_patterns(aig, patterns, 10, backend="numpy")
+    plain = simulate_patterns(aig, patterns, 10, backend="int")
+    assert len(values) == len(plain)
+    assert sorted(values) == sorted(plain)
+    assert values.get(0) == 0
+    assert values.get(len(aig._type) + 7) is None
+    with pytest.raises(KeyError):
+        values[len(aig._type) + 7]
+    with pytest.raises(KeyError):
+        values[-1]
+    assert dict(values.items()) == plain
+    assert values != {0: 0}
+    assert values != object()
+
+
+def test_auto_dispatch_heuristic(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    wide = _wide_aig()
+    assert select_backend(wide, 64) == "numpy"
+    # Huge pattern blocks tilt the crossover back toward bigints.
+    assert select_backend(wide, 1 << 16) == "int"
+
+    narrow = network_to_aig(FAMILY_SPECS[0].build())
+    assert len(narrow._type) < 512
+    assert select_backend(narrow, 64) == "int"
+
+    with pytest.raises(ValueError):
+        select_backend(wide, 64, backend="bogus")
+
+
+def test_scalar_kernels_env_forces_int(monkeypatch):
+    wide = _wide_aig()
+    monkeypatch.setenv("REPRO_SCALAR_KERNELS", "1")
+    assert select_backend(wide, 64) == "int"
+    # An explicit backend request still wins over the environment switch.
+    assert select_backend(wide, 64, backend="numpy") == "numpy"
+    monkeypatch.delenv("REPRO_SCALAR_KERNELS")
+    assert select_backend(wide, 64) == "numpy"
+
+
+def test_auto_matches_forced_backends_end_to_end(monkeypatch):
+    monkeypatch.delenv("REPRO_SCALAR_KERNELS", raising=False)
+    wide = _wide_aig()
+    patterns = _random_patterns(wide, 64, seed=21)
+    auto = simulate_patterns(wide, patterns, 64)
+    assert isinstance(auto, PackedValues)
+    assert auto == simulate_patterns(wide, patterns, 64, backend="int")

@@ -31,6 +31,12 @@ def _result(name, wall_min):
     )
 
 
+def _rated(name, wall_min, rates):
+    result = _result(name, wall_min)
+    result.rates.update(rates)
+    return result
+
+
 class TestRunSpec:
     def test_warmup_and_repeat_counts(self):
         calls = []
@@ -114,6 +120,40 @@ class TestComparison:
         comparison = compare_reports(current, baseline)
         assert comparison.missing == ["gone"]
         assert "MISSING" in render_comparison(comparison)
+
+    def test_new_rate_counter_is_reported_not_fatal(self):
+        """A counter added after the baseline was committed shows as `new`
+        instead of crashing or silently vanishing from the comparison."""
+        baseline = BenchReport(suite="s", results=[_rated("a", 1.0, {"events_per_s": 100.0})])
+        current = BenchReport(
+            suite="s",
+            results=[_rated("a", 1.0, {"events_per_s": 150.0, "patterns_per_s": 9.0})],
+        )
+        comparison = compare_reports(current, baseline, fail_on_regress=25.0)
+        assert comparison.ok  # rates never gate
+        deltas = {d.rate: d for d in comparison.rate_deltas}
+        assert deltas["patterns_per_s"].status == "new"
+        assert deltas["patterns_per_s"].baseline is None
+        assert deltas["events_per_s"].status == "faster"
+        assert deltas["events_per_s"].delta_pct == pytest.approx(50.0)
+        rendered = render_comparison(comparison)
+        assert "patterns_per_s" in rendered and "new" in rendered
+
+    def test_retired_rate_counter_is_reported_gone(self):
+        baseline = BenchReport(suite="s", results=[_rated("a", 1.0, {"old_per_s": 5.0})])
+        current = BenchReport(suite="s", results=[_rated("a", 1.0, {})])
+        comparison = compare_reports(current, baseline, fail_on_regress=25.0)
+        assert comparison.ok
+        deltas = {d.rate: d for d in comparison.rate_deltas}
+        assert deltas["old_per_s"].status == "gone"
+        assert deltas["old_per_s"].current is None
+
+    def test_rateless_reports_render_without_rate_table(self):
+        baseline = BenchReport(suite="s", results=[_result("a", 1.0)])
+        current = BenchReport(suite="s", results=[_result("a", 1.0)])
+        comparison = compare_reports(current, baseline)
+        assert comparison.rate_deltas == []
+        assert "Throughput rates" not in render_comparison(comparison)
 
 
 class TestSuites:
