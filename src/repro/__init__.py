@@ -41,7 +41,9 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
+
+from . import schema  # noqa: E402  - registers the message-type registry
 
 from .core import (  # noqa: E402
     Flow,
@@ -229,4 +231,6 @@ __all__ = [
     "SynthesisEngine",
     "SynthesisJob",
     "run_experiment",
+    # Typed, versioned message layer
+    "schema",
 ]

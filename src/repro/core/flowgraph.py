@@ -45,7 +45,6 @@ one default flow serves every design kind.
 from __future__ import annotations
 
 import hashlib
-import json
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -596,12 +595,9 @@ class StageCache:
 
     @staticmethod
     def prefix_key(fingerprint: str, signature_prefix: Sequence[object]) -> str:
-        canonical = json.dumps(
-            {"input": fingerprint, "stages": signature_prefix},
-            sort_keys=True,
-            default=str,
-        )
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        from ..schema import content_key
+
+        return content_key({"input": fingerprint, "stages": tuple(signature_prefix)})
 
     def get(self, key: str) -> Optional[FlowState]:
         state = self._states.get(key)

@@ -206,10 +206,13 @@ def load_corpus_specs(
 ) -> List[Tuple[str, GenSpec]]:
     """``(entry name, spec)`` pairs of the pinned shrink corpus, sorted.
 
-    Entries that no longer parse (removed family, renamed parameter) are
-    skipped rather than fatal: coverage must keep working while the
-    corpus evolves.  Results are cached per directory.
+    Entries that no longer parse (removed family, renamed parameter) or
+    fail ``repro-corpus/1`` schema validation are skipped rather than
+    fatal: coverage must keep working while the corpus evolves.  Results
+    are cached per directory.
     """
+    from ..schema import load_document
+
     directory = directory if directory is not None else default_corpus_dir()
     if directory is None:
         return []
@@ -220,7 +223,11 @@ def load_corpus_specs(
     entries: List[Tuple[str, GenSpec]] = []
     for path in sorted(Path(directory).glob("*.json")):
         try:
-            data = json.loads(path.read_text(encoding="utf-8"))
+            data = load_document(
+                json.loads(path.read_text(encoding="utf-8")),
+                "corpus",
+                source=str(path),
+            )
             spec = GenSpec.create(
                 str(data["family"]),
                 seed=int(data.get("seed", 0)),

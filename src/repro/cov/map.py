@@ -25,10 +25,13 @@ from __future__ import annotations
 import json
 from typing import Dict, Iterable, List, Mapping, Set
 
+from ..schema import canonical_json, load_document, pack, schema_tag
+
 __all__ = ["COV_SCHEMA", "CoverageMap"]
 
-#: Bumped when the serialised coverage layout changes incompatibly.
-COV_SCHEMA = "repro-cov/1"
+#: Schema tag of the serialised coverage layout (the ``cov`` kind of the
+#: ``repro.schema`` registry).
+COV_SCHEMA = schema_tag("cov")
 
 
 class CoverageMap:
@@ -116,29 +119,28 @@ class CoverageMap:
     # Serialisation
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "schema": COV_SCHEMA,
-            "features": {
-                feature: sorted(units)
-                for feature, units in sorted(self._features.items())
+        """The tagged ``repro-cov/1`` document (validated by ``pack``)."""
+        return pack(
+            "cov",
+            {
+                "features": {
+                    feature: sorted(units)
+                    for feature, units in sorted(self._features.items())
+                },
             },
-        }
+        )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "CoverageMap":
-        schema = data.get("schema")
-        if schema != COV_SCHEMA:
-            raise ValueError(
-                f"coverage map carries schema {schema!r}, expected {COV_SCHEMA!r}"
-            )
+        payload = load_document(data, "cov", source="coverage map")
         cov = cls()
-        for feature, units in (data.get("features") or {}).items():
+        for feature, units in (payload.get("features") or {}).items():
             cov._features[str(feature)] = {str(u) for u in units}
         return cov
 
     def canonical_json(self) -> str:
         """Canonical serialisation: equal maps -> byte-identical text."""
-        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+        return canonical_json(self.to_dict())
 
     @classmethod
     def from_json(cls, text: str) -> "CoverageMap":

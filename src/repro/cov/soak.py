@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..gen.fuzz import FuzzCampaign, FuzzUnit
+from ..schema import atomic_write_json, canonical_json, load_document, pack, schema_tag
 from .features import generation_features, load_corpus_specs, run_side_features, unit_digest
 from .map import CoverageMap
 
@@ -54,8 +55,9 @@ __all__ = [
     "write_state",
 ]
 
-#: Bumped when the checkpoint layout changes incompatibly.
-SOAK_SCHEMA = "repro-soak/1"
+#: Schema tag of the checkpoint layout (the ``soak`` kind of the
+#: ``repro.schema`` registry).
+SOAK_SCHEMA = schema_tag("soak")
 
 #: Wall-clock record fields stripped before persisting: checkpoints hold
 #: only reproducible data, so resumed and uninterrupted runs emit
@@ -145,35 +147,34 @@ class SoakState:
         return sum(int(b.get("new_features", 0)) for b in self.batches)
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "schema": SOAK_SCHEMA,
-            "campaign": dict(self.campaign),
-            "units_total": self.units_total,
-            "units_done": self.units_done,
-            "batches": [dict(b) for b in self.batches],
-            "records": [dict(r) for r in self.records],
-            "coverage": self.coverage.to_dict(),
-        }
+        """The tagged ``repro-soak/1`` document (validated by ``pack``)."""
+        return pack(
+            "soak",
+            {
+                "campaign": dict(self.campaign),
+                "units_total": self.units_total,
+                "units_done": self.units_done,
+                "batches": [dict(b) for b in self.batches],
+                "records": [dict(r) for r in self.records],
+                "coverage": self.coverage.to_dict(),
+            },
+        )
 
     @classmethod
     def from_dict(cls, data: Mapping[str, object]) -> "SoakState":
-        schema = data.get("schema")
-        if schema != SOAK_SCHEMA:
-            raise ValueError(
-                f"soak checkpoint carries schema {schema!r}, expected {SOAK_SCHEMA!r}"
-            )
+        payload = load_document(data, "soak", source="soak checkpoint")
         return cls(
-            campaign=dict(data.get("campaign") or {}),
-            units_total=int(data.get("units_total", 0)),
-            units_done=int(data.get("units_done", 0)),
-            batches=[dict(b) for b in data.get("batches") or []],
-            records=[dict(r) for r in data.get("records") or []],
-            coverage=CoverageMap.from_dict(data.get("coverage") or {}),
+            campaign=dict(payload.get("campaign") or {}),
+            units_total=int(payload.get("units_total", 0)),
+            units_done=int(payload.get("units_done", 0)),
+            batches=[dict(b) for b in payload.get("batches") or []],
+            records=[dict(r) for r in payload.get("records") or []],
+            coverage=CoverageMap.from_dict(payload.get("coverage") or {}),
         )
 
     def corpus_json(self) -> str:
         """Canonical corpus serialisation (byte-identical when equal)."""
-        return json.dumps(self.records, sort_keys=True, separators=(",", ":"))
+        return canonical_json(self.records)
 
 
 # ---------------------------------------------------------------------------
@@ -197,15 +198,8 @@ def shard_paths(directory: Path) -> List[Path]:
 
 
 def write_state(state: SoakState, path: Path) -> Path:
-    """Atomically persist a checkpoint (temp file + rename)."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_suffix(".json.tmp")
-    with open(tmp, "w", encoding="utf-8") as handle:
-        json.dump(state.to_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
-    tmp.replace(path)
-    return path
+    """Atomically persist a checkpoint (shared schema-layer writer)."""
+    return atomic_write_json(Path(path), state.to_dict())
 
 
 def load_state(path: Path) -> SoakState:

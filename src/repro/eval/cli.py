@@ -463,10 +463,9 @@ def _print_summary_dict(summary, out) -> None:
 
 
 def _save_report_json(data, path: Path, out) -> None:
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(data, handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
+    from ..schema import atomic_write_json
+
+    atomic_write_json(path, data)
     out.write(f"saved {path}\n")
 
 

@@ -27,23 +27,34 @@ install a shared cache once and have every experiment pick it up.
 from __future__ import annotations
 
 import contextlib
-import hashlib
 import json
+import logging
 import os
-import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+from typing import ClassVar, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..baselines import pbmap_like, qseq_like
 from ..circuits import build as build_circuit
 from ..circuits import info as circuit_info
 from ..core import Flow, FlowOptions, TimingObserver, get_stage_cache
+from ..schema import (
+    atomic_write_json,
+    content_key,
+    load_document,
+    pack,
+    quarantine,
+    schema_tag,
+)
 
-#: Bumped when the record layout changes incompatibly; part of every cache key.
-#: Schema 2: records key on the flow signature and carry per-stage timings.
-RECORD_SCHEMA = 2
+logger = logging.getLogger(__name__)
+
+#: Current version of the ``repro-record/<N>`` message type; part of every
+#: cache key.  2: records key on the flow signature and carry per-stage
+#: timings.  3: records are stamped with the ``repro.schema`` envelope on
+#: disk (untagged v2 documents still load, via migration).
+RECORD_SCHEMA = 3
 
 
 def _package_version() -> str:
@@ -71,6 +82,9 @@ class SynthesisJob:
             fields are plain tuples so the job stays hashable and
             picklable across worker processes.
     """
+
+    #: Message kind this job's records are stored under (see ``repro.schema``).
+    schema_kind: ClassVar[str] = "record"
 
     circuit: str
     scale: str = "quick"
@@ -171,16 +185,21 @@ class SynthesisJob:
         }
 
     def key(self) -> str:
-        """Content-addressed cache key: flow signature + package version."""
+        """Content-addressed cache key: flow signature + package version.
+
+        Canonicalised through :func:`repro.schema.content_key`: a flow
+        signature carrying a non-JSON-native option value raises
+        :class:`repro.schema.WireFormatError` instead of being silently
+        stringified into a collision-prone key.
+        """
         payload = {
-            "schema": RECORD_SCHEMA,
+            "schema": schema_tag(self.schema_kind),
             "version": _package_version(),
             "circuit": self.circuit,
             "scale": self.scale,
             "flow": self.signature(),
         }
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return content_key(payload)
 
 
 def synthesis_record(job: SynthesisJob) -> Dict[str, object]:
@@ -236,6 +255,16 @@ class ResultCache:
     atomically so concurrent workers and processes can share a directory.
     Hit/miss/put counters let the runner report how much re-synthesis a
     run actually performed.
+
+    The cache is shared by every spec family that exposes ``key()`` /
+    ``schema_kind`` (:class:`SynthesisJob`,
+    :class:`~repro.verify.campaign.VerificationSpec`,
+    :class:`~repro.faults.campaign.FaultSpec`); records are stamped with
+    the ``repro.schema`` envelope on ``put`` and validated/migrated on
+    ``get``.  A record that fails to parse or validate — truncated by a
+    crash, hand-edited, foreign — is **not** an error: it counts as a
+    miss (so the unit recomputes), is quarantined as ``*.corrupt`` for
+    inspection, and logs a warning.
     """
 
     def __init__(self, directory: Optional[os.PathLike] = None) -> None:
@@ -254,31 +283,36 @@ class ResultCache:
     def contains(self, job: SynthesisJob) -> bool:
         return self._path(job.key()).exists()
 
+    @staticmethod
+    def _kind(job: SynthesisJob) -> str:
+        return getattr(job, "schema_kind", "record")
+
     def get(self, job: SynthesisJob) -> Optional[Dict[str, object]]:
         path = self._path(job.key())
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (OSError, ValueError):
+                document = json.load(handle)
+            record = load_document(document, self._kind(job), source=str(path))
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError) as error:
+            moved = quarantine(path)
+            suffix = f"; quarantined as {moved.name}" if moved else ""
+            logger.warning(
+                "corrupt cache record %s treated as a miss (%s)%s",
+                path.name,
+                error,
+                suffix,
+            )
             self.misses += 1
             return None
         self.hits += 1
         return record
 
     def put(self, job: SynthesisJob, record: Mapping[str, object]) -> None:
-        self.directory.mkdir(parents=True, exist_ok=True)
-        path = self._path(job.key())
-        fd, tmp_name = tempfile.mkstemp(
-            prefix=path.name, suffix=".tmp", dir=str(self.directory)
-        )
-        try:
-            with os.fdopen(fd, "w", encoding="utf-8") as handle:
-                json.dump(dict(record), handle, sort_keys=True)
-            os.replace(tmp_name, path)
-        except BaseException:
-            with contextlib.suppress(OSError):
-                os.unlink(tmp_name)
-            raise
+        document = pack(self._kind(job), dict(record))
+        atomic_write_json(self._path(job.key()), document, compact=True)
         self.puts += 1
 
     def clear(self) -> int:

@@ -29,6 +29,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from . import experiments
 from ..gen.fuzz import FuzzCampaign, FuzzReport, FuzzUnit, shrink_unit
+from ..schema import atomic_write_json, canonical_json
 from ..verify.campaign import (
     VerificationReport,
     VerificationSpec,
@@ -656,18 +657,17 @@ def run_experiment(
 
 
 def write_json(report: RunReport, path: Path) -> Path:
-    """Write the full run report (rows, summary, timings) as JSON."""
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.to_dict(), handle, indent=2, sort_keys=True, default=str)
-        handle.write("\n")
-    return path
+    """Write the full run report (rows, summary, timings) as JSON.
+
+    Atomic and strict: the shared schema-layer writer rejects
+    non-wire-safe values instead of ``default=str``-stringifying them.
+    """
+    return atomic_write_json(Path(path), report.to_dict())
 
 
 def _flatten(value: object) -> object:
     if isinstance(value, (dict, list, tuple)):
-        return json.dumps(value, sort_keys=True, default=str)
+        return canonical_json(value)
     return value
 
 

@@ -36,6 +36,7 @@ from .campaign import (
     FaultSpec,
     FaultUnit,
     fault_record,
+    load_fault_report,
     render_fault_table,
     timed_fault_record,
 )
@@ -74,6 +75,7 @@ __all__ = [
     "fault_kind_names",
     "fault_record",
     "is_fault_name",
+    "load_fault_report",
     "parse_fault_name",
     "render_fault_table",
     "search_margin",

@@ -31,11 +31,11 @@ reports, which is an acceptance criterion pinned by ``tests/faults``.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+from pathlib import Path
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from ..circuits import build as build_circuit
 from ..circuits import info as circuit_info
@@ -43,6 +43,7 @@ from ..circuits import names as circuit_names
 from ..core import Flow, get_stage_cache
 from ..core.report import format_table
 from ..core.flowgraph import flow_variant
+from ..schema import content_key, load_document, pack, schema_tag
 from ..sim.pulse import suggest_phase_period
 from ..verify.campaign import StageSignature, _cell_counts
 from ..verify.equivalence import verify_result
@@ -58,15 +59,19 @@ __all__ = [
     "FaultSpec",
     "FaultUnit",
     "fault_record",
+    "load_fault_report",
     "render_fault_table",
     "timed_fault_record",
 ]
 
-#: Schema tag of the ``repro faults --report`` JSON document.
-FAULTS_SCHEMA = "repro-faults/1"
+#: Schema tag of the ``repro faults --report`` JSON document (the
+#: ``faults`` kind of the ``repro.schema`` registry).
+FAULTS_SCHEMA = schema_tag("faults")
 
-#: Bumped when the fault record layout changes incompatibly.
-FAULT_RECORD_SCHEMA = 1
+#: Current version of the ``repro-fault/<N>`` record message type.
+#: 2: records are stamped with the ``repro.schema`` envelope on disk
+#: (untagged v1 documents still load, via migration).
+FAULT_RECORD_SCHEMA = 2
 
 #: Kinds a campaign injects when the caller does not choose: the two
 #: timing aspects, whose margins are the headline robustness numbers.
@@ -99,6 +104,9 @@ class FaultSpec:
         margin: Sweep the robustness margin instead of injecting the
             scenario's fixed magnitude.
     """
+
+    #: Message kind this spec's records are stored under (see ``repro.schema``).
+    schema_kind: ClassVar[str] = "fault"
 
     circuit: str
     scenario: str
@@ -145,10 +153,14 @@ class FaultSpec:
         return parse_fault_name(self.scenario)
 
     def key(self) -> str:
-        """Content-addressed cache key: flow + scenario + stimulus identity."""
+        """Content-addressed cache key: flow + scenario + stimulus identity.
+
+        Canonicalised through :func:`repro.schema.content_key` — no
+        ``default=str`` escape hatch, so a non-JSON-native value in the
+        flow signature raises instead of destabilising the key.
+        """
         payload = {
-            "record": "fault",
-            "schema": FAULT_RECORD_SCHEMA,
+            "schema": schema_tag(self.schema_kind),
             "version": _package_version(),
             "circuit": self.circuit,
             "scale": self.scale,
@@ -159,8 +171,7 @@ class FaultSpec:
             "sequence_length": self.sequence_length,
             "margin": self.margin,
         }
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return content_key(payload)
 
     def label(self) -> str:
         suffix = " margin" if self.margin else ""
@@ -479,15 +490,33 @@ class FaultReport:
 
         Every field is a pure function of the campaign identity — no
         wall-clock, no worker counts, no cache statistics — so two runs
-        of the same campaign serialise byte-identically.
+        of the same campaign serialise byte-identically.  The envelope
+        tag is stamped (and the payload validated) by
+        :func:`repro.schema.pack`.
         """
-        return {
-            "schema": FAULTS_SCHEMA,
-            "campaign": self.campaign.to_dict(),
-            "rows": self.records,
-            "text": self.table(),
-            "summary": self.summary(),
-        }
+        return pack(
+            "faults",
+            {
+                "campaign": self.campaign.to_dict(),
+                "rows": self.records,
+                "text": self.table(),
+                "summary": self.summary(),
+            },
+        )
+
+
+def load_fault_report(path: Path) -> Dict[str, object]:
+    """Load (and schema-check) a saved ``repro faults --report`` document.
+
+    Returns the validated payload — ``campaign``, ``rows``, ``text``,
+    ``summary`` — with the envelope tag stripped.  Raises
+    :class:`repro.schema.SchemaError` (a ``ValueError``) on a foreign or
+    unmigratable document.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    return load_document(document, "faults", source=str(path))
 
 
 def _margin_cell(record: Mapping[str, object]) -> str:

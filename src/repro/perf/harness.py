@@ -28,8 +28,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-#: Schema identifier stamped into every emitted benchmark JSON document.
-BENCH_SCHEMA = "repro-bench/1"
+from ..schema import SchemaError, atomic_write_json, load_document, pack, schema_tag
+
+#: Schema tag stamped into every emitted benchmark JSON document (the
+#: ``bench`` kind of the ``repro.schema`` registry).
+BENCH_SCHEMA = schema_tag("bench")
 
 #: Counters that represent throughput and get a derived ``<name>_per_s`` rate.
 RATE_COUNTERS = ("patterns", "events", "units", "new_features")
@@ -124,38 +127,41 @@ class BenchReport:
     elapsed_s: float = 0.0
 
     def to_dict(self) -> Dict[str, object]:
-        return {
-            "schema": BENCH_SCHEMA,
-            "suite": self.suite,
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-            "elapsed_s": self.elapsed_s,
-            "results": [result.to_dict() for result in self.results],
-        }
+        """The tagged ``repro-bench/1`` document (validated by ``pack``)."""
+        return pack(
+            "bench",
+            {
+                "suite": self.suite,
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+                "elapsed_s": self.elapsed_s,
+                "results": [result.to_dict() for result in self.results],
+            },
+        )
 
     def write(self, directory: Path) -> Path:
-        """Write ``BENCH_<suite>.json`` into ``directory`` and return the path."""
-        directory = Path(directory)
-        directory.mkdir(parents=True, exist_ok=True)
-        path = directory / f"BENCH_{self.suite}.json"
-        with open(path, "w", encoding="utf-8") as handle:
-            json.dump(self.to_dict(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
-        return path
+        """Write ``BENCH_<suite>.json`` into ``directory`` and return the path.
+
+        Emission is atomic (temp file + ``os.replace`` via
+        :func:`repro.schema.atomic_write_json`): a crash mid-write
+        leaves any previous report — e.g. a committed baseline the CI
+        gate reads — intact instead of truncated.
+        """
+        path = Path(directory) / f"BENCH_{self.suite}.json"
+        return atomic_write_json(path, self.to_dict())
 
 
 def load_bench(path: Path) -> BenchReport:
-    """Load (and schema-check) a previously emitted ``BENCH_*.json``."""
+    """Load (schema-check, and migrate) a previously emitted ``BENCH_*.json``."""
     with open(path, "r", encoding="utf-8") as handle:
         data = json.load(handle)
-    schema = data.get("schema")
-    if schema != BENCH_SCHEMA:
-        raise ValueError(
-            f"{path} carries schema {schema!r}, expected {BENCH_SCHEMA!r}"
-        )
-    report = BenchReport(suite=str(data.get("suite", "")))
-    report.elapsed_s = float(data.get("elapsed_s", 0.0))
-    report.results = [BenchResult.from_dict(r) for r in data.get("results") or []]
+    try:
+        payload = load_document(data, "bench")
+    except SchemaError as error:
+        raise SchemaError(f"{path}: {error}") from None
+    report = BenchReport(suite=str(payload.get("suite", "")))
+    report.elapsed_s = float(payload.get("elapsed_s", 0.0))
+    report.results = [BenchResult.from_dict(r) for r in payload.get("results") or []]
     return report
 
 

@@ -19,17 +19,16 @@ check of the whole synthesis stack — and flatten the verdict to JSON.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import ClassVar, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..circuits import build as build_circuit
 from ..circuits import info as circuit_info
 from ..circuits import names as circuit_names
 from ..core import Flow, get_stage_cache
 from ..core.report import format_table
+from ..schema import content_key, schema_tag
 from .equivalence import VerificationVerdict, verify_result
 
 __all__ = [
@@ -41,9 +40,11 @@ __all__ = [
     "verification_record",
 ]
 
-#: Bumped when the verdict record layout changes incompatibly.
+#: Current version of the ``repro-verify/<N>`` message type.
 #: 2: records gained ``cell_counts`` (mapped cell-family histogram).
-VERIFY_SCHEMA = 2
+#: 3: records are stamped with the ``repro.schema`` envelope on disk
+#: (untagged v2 documents still load, via migration).
+VERIFY_SCHEMA = 3
 
 #: A flow signature as stored on a spec (same shape as SynthesisJob.stages).
 StageSignature = Tuple[Tuple[str, Tuple[Tuple[str, object], ...]], ...]
@@ -67,6 +68,9 @@ class VerificationSpec:
         seed: Stimulus seed.
         sequence_length: Cycles per trajectory (sequential circuits).
     """
+
+    #: Message kind this spec's records are stored under (see ``repro.schema``).
+    schema_kind: ClassVar[str] = "verify"
 
     circuit: str
     scale: str = "quick"
@@ -101,10 +105,14 @@ class VerificationSpec:
         return Flow.from_signature(self.stages) if self.stages else Flow.default()
 
     def key(self) -> str:
-        """Content-addressed cache key: flow signature + stimulus identity."""
+        """Content-addressed cache key: flow signature + stimulus identity.
+
+        Canonicalised through :func:`repro.schema.content_key` — no
+        ``default=str`` escape hatch, so a non-JSON-native value in the
+        flow signature raises instead of destabilising the key.
+        """
         payload = {
-            "record": "verification",
-            "schema": VERIFY_SCHEMA,
+            "schema": schema_tag(self.schema_kind),
             "version": _package_version(),
             "circuit": self.circuit,
             "scale": self.scale,
@@ -113,8 +121,7 @@ class VerificationSpec:
             "seed": self.seed,
             "sequence_length": self.sequence_length,
         }
-        canonical = json.dumps(payload, sort_keys=True, default=str)
-        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return content_key(payload)
 
     def label(self) -> str:
         return f"{self.circuit}@{self.scale} n={self.patterns} seed={self.seed}"

@@ -1,0 +1,105 @@
+"""The canonical serialiser: wire-safety, determinism, content keys."""
+
+import json
+import math
+from decimal import Decimal
+from pathlib import Path
+
+import pytest
+
+from repro.schema import (
+    SchemaError,
+    WireFormatError,
+    canonical_json,
+    content_key,
+    ensure_wire_safe,
+)
+
+
+class TestEnsureWireSafe:
+    def test_accepts_json_native_values(self):
+        doc = {
+            "s": "text",
+            "i": 42,
+            "f": 1.5,
+            "b": True,
+            "n": None,
+            "list": [1, "two", [3.0, False]],
+            "tuple": (1, (2, 3)),
+            "nested": {"inner": {"deep": []}},
+        }
+        assert ensure_wire_safe(doc) is doc
+
+    @pytest.mark.parametrize(
+        "value",
+        [
+            object(),
+            Decimal("1"),
+            Path("/tmp/x"),
+            {1, 2},
+            b"bytes",
+            complex(1, 2),
+        ],
+    )
+    def test_rejects_non_native_values(self, value):
+        with pytest.raises(WireFormatError):
+            ensure_wire_safe({"field": value})
+
+    @pytest.mark.parametrize("value", [float("nan"), float("inf"), float("-inf")])
+    def test_rejects_non_finite_floats(self, value):
+        with pytest.raises(WireFormatError, match="wire-safe"):
+            ensure_wire_safe({"rate": value})
+
+    def test_rejects_non_string_mapping_keys(self):
+        with pytest.raises(WireFormatError, match="key"):
+            ensure_wire_safe({1: "one"})
+
+    def test_error_names_the_offending_path(self):
+        with pytest.raises(WireFormatError, match=r"\$\.outer\[1\]\.bad"):
+            ensure_wire_safe({"outer": [{}, {"bad": object()}]})
+
+    def test_schema_error_is_a_value_error(self):
+        assert issubclass(WireFormatError, SchemaError)
+        assert issubclass(SchemaError, ValueError)
+
+
+class TestCanonicalJson:
+    def test_sorted_and_compact(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_tuples_serialise_as_arrays(self):
+        assert canonical_json((1, ("x", 2))) == '[1,["x",2]]'
+
+    def test_round_trips_through_json_loads(self):
+        doc = {"flow": [["frontend", {}]], "patterns": 64, "rate": 0.25}
+        assert json.loads(canonical_json(doc)) == doc
+
+    def test_no_default_str_escape_hatch(self):
+        """Regression (satellite 1): ``default=str`` used to stringify
+        arbitrary objects into the key payload.  Two distinct values whose
+        ``str()`` agree — ``Decimal("1")`` and ``"1"`` — then collided, and
+        an ``object()`` (whose ``str()`` embeds its memory address) changed
+        the key every process.  Both now raise instead."""
+        assert canonical_json({"v": "1"}) == '{"v":"1"}'
+        with pytest.raises(WireFormatError):
+            canonical_json({"v": Decimal("1")})
+        with pytest.raises(WireFormatError):
+            canonical_json({"v": object()})
+
+    def test_bool_and_int_stay_distinct(self):
+        assert canonical_json({"v": True}) != canonical_json({"v": 1})
+
+
+class TestContentKey:
+    def test_stable_and_order_insensitive(self):
+        a = content_key({"x": 1, "y": [1, 2]})
+        b = content_key({"y": [1, 2], "x": 1})
+        assert a == b and len(a) == 64 and int(a, 16) >= 0
+
+    def test_distinct_payloads_distinct_keys(self):
+        assert content_key({"x": 1}) != content_key({"x": 2})
+        assert content_key({"x": 1}) != content_key({"x": "1"})
+
+    def test_math_nan_in_nested_payload_raises(self):
+        with pytest.raises(WireFormatError):
+            content_key({"deep": [{"rate": math.nan}]})

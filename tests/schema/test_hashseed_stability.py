@@ -1,0 +1,65 @@
+"""Cross-process determinism of the canonical serialiser.
+
+The same payload is serialised and content-keyed in two interpreters
+with *different* ``PYTHONHASHSEED`` values.  ``canonical_json`` and
+``content_key`` must come back byte-identical: cache keys, coverage
+corpus JSON and byte-stability baselines all assume the serialisation
+is a pure function of the value, never of Python's randomised string
+hash or of dict insertion order.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parents[2] / "src")
+
+_SNIPPET = """
+from repro.schema import canonical_json, content_key, pack
+
+payload = {
+    "circuit": "ctrl",
+    "scale": "quick",
+    "flow": [["frontend", {"opt_rounds": 2}], ["map", {}]],
+    "metrics": {"jj": 1184, "depth": 17, "rate": 0.125},
+    "flags": [True, False, None],
+}
+# Build an insertion-order-scrambled copy; canonical output must agree.
+scrambled = {key: payload[key] for key in sorted(payload, reverse=True)}
+
+print(canonical_json(payload))
+print(content_key(payload))
+print(content_key(scrambled))
+print(canonical_json(pack("cov", {"features": {"depth:1": ["unitaaa"]}})))
+
+from repro.eval.engine import SynthesisJob
+
+job = SynthesisJob.create("ctrl", options={"effort": "none"})
+print(job.key())
+"""
+
+
+def _run(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = _SRC + os.pathsep + env.get("PYTHONPATH", "")
+    env["PYTHONHASHSEED"] = hash_seed
+    proc = subprocess.run(
+        [sys.executable, "-c", _SNIPPET],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return proc.stdout
+
+
+def test_two_subprocesses_agree_bit_for_bit():
+    first = _run(hash_seed="1")
+    second = _run(hash_seed="2")
+    assert first == second
+    lines = first.splitlines()
+    assert lines[0].startswith('{"circuit":"ctrl",')  # sorted, compact
+    assert lines[1] == lines[2]  # insertion order cannot leak into the key
+    assert len(lines[1]) == 64 and len(lines[4]) == 64
+    assert lines[3].startswith('{"features":')  # envelope tag sorts after

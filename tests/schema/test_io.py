@@ -1,0 +1,72 @@
+"""Durable IO: atomic writes and corrupt-file quarantine."""
+
+import json
+import os
+
+import pytest
+
+from repro.schema import WireFormatError, atomic_write_json, quarantine
+
+
+class TestAtomicWriteJson:
+    def test_writes_pretty_sorted_with_trailing_newline(self, tmp_path):
+        path = atomic_write_json(tmp_path / "doc.json", {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text == '{\n  "a": 2,\n  "b": 1\n}\n'
+
+    def test_compact_form_matches_canonical_serialisation(self, tmp_path):
+        path = atomic_write_json(
+            tmp_path / "doc.json", {"b": 1, "a": [1, 2]}, compact=True
+        )
+        assert path.read_text() == '{"a":[1,2],"b":1}\n'
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = atomic_write_json(tmp_path / "deep" / "nest" / "doc.json", {"a": 1})
+        assert path.exists()
+
+    def test_replaces_existing_document(self, tmp_path):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"version": 1})
+        atomic_write_json(target, {"version": 2})
+        assert json.loads(target.read_text()) == {"version": 2}
+
+    def test_rejecting_a_bad_document_leaves_the_old_bytes_intact(self, tmp_path):
+        """A failed write must not touch the previous document or leave
+        temp litter — this is the crash-safety contract every baseline
+        and checkpoint depends on."""
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"good": True})
+        before = target.read_bytes()
+        with pytest.raises(WireFormatError):
+            atomic_write_json(target, {"bad": object()})
+        with pytest.raises(WireFormatError):
+            atomic_write_json(target, {"bad": float("nan")})
+        assert target.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+    def test_interrupted_replace_leaves_no_partial_target(self, tmp_path, monkeypatch):
+        target = tmp_path / "doc.json"
+        atomic_write_json(target, {"version": 1})
+        before = target.read_bytes()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk gone")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk gone"):
+            atomic_write_json(target, {"version": 2})
+        monkeypatch.undo()
+        assert target.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["doc.json"]
+
+
+class TestQuarantine:
+    def test_moves_the_file_aside(self, tmp_path):
+        bad = tmp_path / "record.json"
+        bad.write_text("{trunca")
+        moved = quarantine(bad)
+        assert moved == tmp_path / "record.json.corrupt"
+        assert not bad.exists() and moved.read_text() == "{trunca"
+
+    def test_missing_file_returns_none(self, tmp_path):
+        assert quarantine(tmp_path / "never-existed.json") is None

@@ -1,0 +1,60 @@
+"""Wire compatibility with every JSON artefact committed to the repo.
+
+The schema layer's one hard promise is that nothing already on disk
+stops loading: the benchmark baseline the CI regression gate reads, the
+pinned generator-corpus entries the coverage fuzzer seeds from, and the
+legacy fixtures in ``tests/schema/fixtures``.  This is also the test
+file the ``schema-compat`` CI job runs against a fresh checkout.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.schema import load_document, registered_kinds
+
+REPO = Path(__file__).resolve().parents[2]
+CORPUS = sorted((REPO / "tests" / "gen" / "corpus").glob("*.json"))
+FIXTURES = sorted((Path(__file__).parent / "fixtures").glob("*.json"))
+
+
+def test_committed_bench_baseline_loads():
+    from repro.perf import load_bench
+
+    report = load_bench(REPO / "benchmarks" / "baselines" / "BENCH_smoke.json")
+    assert report.suite == "smoke"
+    assert report.results, "baseline unexpectedly empty"
+    assert all(result.name for result in report.results)
+
+
+@pytest.mark.parametrize("path", CORPUS, ids=lambda p: p.stem)
+def test_committed_corpus_entries_load(path):
+    payload = load_document(json.loads(path.read_text()), "corpus", source=str(path))
+    assert payload["family"] in {"dag", "fsm", "arith"}
+    assert isinstance(payload["seed"], int)
+
+
+def test_committed_corpus_entries_still_build_specs():
+    from repro.cov.features import load_corpus_specs
+
+    entries = load_corpus_specs(REPO / "tests" / "gen" / "corpus")
+    assert len(entries) == len(CORPUS), "corpus entry failed schema validation"
+    assert all(spec.family in {"dag", "fsm", "arith"} for _, spec in entries)
+
+
+def test_corpus_directory_is_not_empty():
+    assert len(CORPUS) >= 6
+
+
+@pytest.mark.parametrize("path", FIXTURES, ids=lambda p: p.stem)
+def test_pinned_fixtures_load_through_their_kind(path):
+    kind = path.stem.rsplit("-", 1)[0].replace("faults-report", "faults")
+    assert kind in registered_kinds()
+    payload = load_document(json.loads(path.read_text()), kind, source=str(path))
+    assert payload and "schema" not in payload
+
+
+def test_every_kind_has_a_pinned_fixture():
+    covered = {p.stem.rsplit("-", 1)[0].replace("faults-report", "faults") for p in FIXTURES}
+    assert covered == set(registered_kinds()) - {"testchain"}
