@@ -41,7 +41,7 @@ The names most users need are re-exported here::
     report = repro.run_experiment("table4", jobs=4)
 """
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 from . import schema  # noqa: E402  - registers the message-type registry
 

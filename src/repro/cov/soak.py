@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..exec import ExecEvent
 from ..gen.fuzz import FuzzCampaign, FuzzUnit
 from ..schema import atomic_write_json, canonical_json, load_document, pack, schema_tag
 from .features import generation_features, load_corpus_specs, run_side_features, unit_digest
@@ -295,10 +296,14 @@ def run_soak(
                 f"checkpoint {path} belongs to a different campaign; "
                 "pick a fresh --checkpoint directory or matching flags"
             )
-        runner.progress(
-            f"[soak] resuming shard {campaign.shard_index + 1}/{campaign.shards} "
-            f"from {path.name}: {state.units_done}/{len(units)} units done"
-        )
+        runner.emit(ExecEvent(
+            kind="note",
+            description=(
+                f"[soak] resuming shard "
+                f"{campaign.shard_index + 1}/{campaign.shards} "
+                f"from {path.name}: {state.units_done}/{len(units)} units done"
+            ),
+        ))
     else:
         state = SoakState(campaign=campaign.identity(), units_total=len(units))
 
@@ -330,10 +335,13 @@ def run_soak(
         state.units_done += len(chunk)
         write_state(state, path)
         batches_this_call += 1
-        runner.progress(
-            f"[soak] batch {len(state.batches)}: {len(chunk)} units, "
-            f"{new_count} new features "
-            f"({state.units_done}/{len(units)} units, "
-            f"{len(state.coverage)} features total) -> {path.name}"
-        )
+        runner.emit(ExecEvent(
+            kind="note",
+            description=(
+                f"[soak] batch {len(state.batches)}: {len(chunk)} units, "
+                f"{new_count} new features "
+                f"({state.units_done}/{len(units)} units, "
+                f"{len(state.coverage)} features total) -> {path.name}"
+            ),
+        ))
     return state

@@ -57,6 +57,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional, Sequence
 
+from ..exec import EXECUTOR_NAMES
 from .engine import ResultCache
 from .runner import (
     EXPERIMENTS,
@@ -71,6 +72,31 @@ from .runner import (
 
 SCALES = ("quick", "paper")
 EFFORTS = ("none", "low", "medium", "high")
+
+
+def _positive_jobs(value: str) -> int:
+    """argparse type for ``--jobs``: reject 0/negative with a clear message."""
+    try:
+        jobs = int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"jobs must be an integer, got {value!r}")
+    if jobs < 1:
+        raise argparse.ArgumentTypeError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _add_executor_args(cmd: argparse.ArgumentParser) -> None:
+    """The execution-backend flags shared by every campaign subcommand."""
+    cmd.add_argument("--executor", choices=EXECUTOR_NAMES, default="pool",
+                     help="execution backend: 'serial' stays in-process, "
+                          "'pool' is a throwaway multiprocessing pool "
+                          "(default), 'workers' supervises long-lived worker "
+                          "processes with crash isolation and retries")
+    cmd.add_argument("--unit-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-unit wall-clock budget enforced by the "
+                          "'workers' backend; an overrunning unit is killed "
+                          "and recorded with status=error")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,8 +121,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="benchmark circuit scale (default: quick)")
     run_cmd.add_argument("--effort", choices=EFFORTS, default=None,
                          help="AIG optimisation effort (default: per experiment)")
-    run_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+    run_cmd.add_argument("-j", "--jobs", type=_positive_jobs, default=1,
+                         metavar="N",
                          help="worker processes for synthesis jobs (default: 1)")
+    _add_executor_args(run_cmd)
     run_cmd.add_argument("--circuits", nargs="+", metavar="NAME", default=None,
                          help="restrict table4/table6 to these circuits")
     run_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
@@ -132,8 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
                             help="benchmark circuit scale (default: quick)")
     verify_cmd.add_argument("--effort", choices=EFFORTS, default="medium",
                             help="AIG optimisation effort of the verified flow")
-    verify_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+    verify_cmd.add_argument("-j", "--jobs", type=_positive_jobs, default=1,
+                            metavar="N",
                             help="worker processes (default: 1)")
+    _add_executor_args(verify_cmd)
     verify_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
                             help="result cache directory (default: REPRO_CACHE_DIR "
                                  "or ~/.cache/repro-xsfq)")
@@ -211,8 +241,10 @@ def build_parser() -> argparse.ArgumentParser:
     cov_group.add_argument("--merge", action="store_true",
                            help="merge the shard checkpoints in --checkpoint "
                                 "into soak-merged.json instead of running")
-    fuzz_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+    fuzz_cmd.add_argument("-j", "--jobs", type=_positive_jobs, default=1,
+                          metavar="N",
                           help="worker processes (default: 1)")
+    _add_executor_args(fuzz_cmd)
     fuzz_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
                           help="result cache directory (default: REPRO_CACHE_DIR "
                                "or ~/.cache/repro-xsfq)")
@@ -266,8 +298,10 @@ def build_parser() -> argparse.ArgumentParser:
                                  "circuits (default: 8)")
     faults_cmd.add_argument("--scale", choices=SCALES, default="quick",
                             help="benchmark circuit scale (default: quick)")
-    faults_cmd.add_argument("-j", "--jobs", type=int, default=1, metavar="N",
+    faults_cmd.add_argument("-j", "--jobs", type=_positive_jobs, default=1,
+                            metavar="N",
                             help="worker processes (default: 1)")
+    _add_executor_args(faults_cmd)
     faults_cmd.add_argument("--cache-dir", default=None, metavar="DIR",
                             help="result cache directory (default: "
                                  "REPRO_CACHE_DIR or ~/.cache/repro-xsfq)")
@@ -403,7 +437,8 @@ def _cmd_run(args: argparse.Namespace, out) -> int:
         if not args.quiet:
             out.write(line + "\n")
 
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress,
+                    executor=args.executor, unit_timeout=args.unit_timeout)
 
     failures: List[str] = []
     for name in names:
@@ -494,7 +529,8 @@ def _cmd_verify(args: argparse.Namespace, out) -> int:
         f"=== verify: {scope} ({len(specs)} circuits, "
         f"{args.patterns} patterns, seed {args.seed}) ===\n"
     )
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress,
+                    executor=args.executor, unit_timeout=args.unit_timeout)
     report = runner.verify(specs)
     out.write(render_verification_table(report.records) + "\n")
     _print_summary_dict(report.to_dict()["summary"], out)
@@ -573,7 +609,8 @@ def _cmd_fuzz_soak(args: argparse.Namespace, out) -> int:
         except (OSError, ValueError, json.JSONDecodeError) as exc:
             raise SystemExit(f"repro: cannot load shard checkpoint: {exc}")
     else:
-        runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+        runner = Runner(jobs=args.jobs, cache=cache, progress=progress,
+                    executor=args.executor, unit_timeout=args.unit_timeout)
         indices = (
             [args.shard_index]
             if args.shard_index is not None
@@ -698,7 +735,8 @@ def _cmd_fuzz(args: argparse.Namespace, out) -> int:
             f"flows {', '.join(campaign.flows)} ===\n"
         )
 
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress,
+                    executor=args.executor, unit_timeout=args.unit_timeout)
     report = runner.fuzz(campaign, units=units, shrink=not args.no_shrink)
     out.write(report.table() + "\n")
     _print_summary_dict(report.summary(), out)
@@ -808,7 +846,8 @@ def _cmd_faults(args: argparse.Namespace, out) -> int:
         f"=== faults: {scope} ({len(units)} units, kinds {', '.join(kinds)}, "
         f"{mode}, seed {args.seed}) ===\n"
     )
-    runner = Runner(jobs=args.jobs, cache=cache, progress=progress)
+    runner = Runner(jobs=args.jobs, cache=cache, progress=progress,
+                    executor=args.executor, unit_timeout=args.unit_timeout)
     report = runner.faults(campaign, units=units)
     out.write(render_fault_table(report.records) + "\n")
     _print_summary_dict(report.summary(), out)

@@ -242,7 +242,13 @@ def synthesis_record(job: SynthesisJob) -> Dict[str, object]:
 def timed_synthesis_record(
     job: SynthesisJob,
 ) -> Tuple[SynthesisJob, Dict[str, object], float]:
-    """Worker-pool wrapper: record plus the seconds it took to compute."""
+    """Record plus the seconds it took to compute.
+
+    Compatibility shim: the runner now schedules bare
+    :func:`synthesis_record` through :mod:`repro.exec`, which times
+    every unit itself; this wrapper remains for external callers that
+    used it as a pool worker function.
+    """
     start = time.perf_counter()
     record = synthesis_record(job)
     return job, record, time.perf_counter() - start
@@ -311,6 +317,15 @@ class ResultCache:
         return record
 
     def put(self, job: SynthesisJob, record: Mapping[str, object]) -> None:
+        if record.get("status") == "error":
+            # Error placeholders describe a *failed execution*, not the
+            # unit's true result; caching one would make the failure
+            # sticky across reruns.  The execution lifecycle never puts
+            # them — this guard is defense-in-depth for direct callers.
+            raise ValueError(
+                "refusing to cache a status='error' record; rerun the "
+                "unit to compute a real result"
+            )
         document = pack(self._kind(job), dict(record))
         atomic_write_json(self._path(job.key()), document, compact=True)
         self.puts += 1

@@ -21,25 +21,25 @@ from __future__ import annotations
 
 import csv
 import json
-import multiprocessing
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from . import experiments
+from ..exec import ExecEvent, render_event, run_units, spec_units
 from ..gen.fuzz import FuzzCampaign, FuzzReport, FuzzUnit, shrink_unit
 from ..schema import atomic_write_json, canonical_json
 from ..verify.campaign import (
     VerificationReport,
     VerificationSpec,
-    timed_verification_record,
+    verification_record,
 )
 from .engine import (
     ResultCache,
     SynthesisEngine,
     SynthesisJob,
-    timed_synthesis_record,
+    synthesis_record,
 )
 from .experiments import ExperimentResult
 
@@ -281,14 +281,25 @@ def _job_label(job: SynthesisJob) -> str:
 
 
 class Runner:
-    """Schedules an experiment's synthesis jobs across a worker pool.
+    """Schedules an experiment's synthesis jobs across an executor backend.
+
+    All scheduling is delegated to :func:`repro.exec.run_units`; the
+    runner only adapts campaign specs into work units, assembles the
+    reports, and renders :class:`~repro.exec.ExecEvent`\\ s onto the
+    ``progress`` callback.
 
     Args:
-        jobs: Worker processes; 1 runs everything in-process.
+        jobs: Worker processes; 1 runs everything in-process (for the
+            default ``pool`` backend).
         cache: Shared result cache (a fresh default-directory cache when
             omitted; pass ``cache=None`` explicitly via ``use_cache=False``
             on the CLI to disable persistence).
         progress: Callback receiving one line per scheduling event.
+        executor: Backend name — ``"serial"``, ``"pool"`` (historical
+            semantics, the default) or ``"workers"`` (supervised
+            long-lived workers with crash isolation and timeouts).
+        unit_timeout: Per-unit wall-clock budget in seconds, enforced by
+            the ``workers`` backend (ignored by the others).
     """
 
     def __init__(
@@ -296,10 +307,20 @@ class Runner:
         jobs: int = 1,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressFn] = None,
+        executor: str = "pool",
+        unit_timeout: Optional[float] = None,
     ) -> None:
         self.jobs = max(1, int(jobs))
         self.cache = cache
         self.progress = progress or (lambda line: None)
+        self.executor = executor
+        self.unit_timeout = unit_timeout
+
+    def emit(self, event: ExecEvent) -> None:
+        """Render one structured execution event onto ``progress``."""
+        line = render_event(event)
+        if line is not None:
+            self.progress(line)
 
     def run(
         self,
@@ -352,55 +373,32 @@ class Runner:
         specs: Sequence[VerificationSpec],
         describe: Callable[[VerificationSpec], str],
         verb: str = "verified",
-        worker: Callable = timed_verification_record,
+        compute: Callable = verification_record,
     ) -> Tuple[Dict[str, Dict[str, object]], int, int]:
         """Shared campaign scheduler for ``verify``, ``fuzz`` and ``faults``.
 
-        De-duplicates specs by content-addressed key, replays what the
-        result cache already holds, computes the rest — serially or on a
-        ``multiprocessing`` pool — and caches every fresh record.  Any
-        spec type with a ``key()`` works, paired with a picklable
-        ``worker`` returning ``(spec, record, seconds)``.
+        Thin adapter over :func:`repro.exec.run_units`: specs become
+        :class:`~repro.exec.SpecUnit`\\ s around the module-level
+        ``compute`` function, and the shared lifecycle handles dedupe,
+        cache replay, executor fan-out and cache writes.  A unit whose
+        worker raises (or crashes, on the ``workers`` backend) resolves
+        to a ``status: "error"`` record instead of aborting the
+        campaign; error records are never cached, so a rerun recomputes
+        exactly the failed units.
 
         Returns ``(records by spec key, computed count, cached count)``.
         """
-        records: Dict[str, Dict[str, object]] = {}
-        pending: List[VerificationSpec] = []
-        seen = set()
-        for spec in specs:
-            if spec.key() in seen:
-                continue
-            seen.add(spec.key())
-            cached = self.cache.get(spec) if self.cache is not None else None
-            if cached is not None:
-                records[spec.key()] = dict(cached)
-                self.progress(f"  cached      {describe(spec)}")
-            else:
-                pending.append(spec)
-
-        def note(spec, record, seconds, index):
-            records[spec.key()] = dict(record)
-            if self.cache is not None:
-                self.cache.put(spec, record)
-            self.progress(
-                f"  [{index}/{len(pending)}] {verb} {describe(spec)} "
-                f"[{record.get('status')}] ({seconds:.2f}s)"
-            )
-
-        if self.jobs == 1 or len(pending) == 1:
-            for index, spec in enumerate(pending, 1):
-                spec, record, seconds = worker(spec)
-                note(spec, record, seconds, index)
-        elif pending:
-            self.progress(
-                f"  scheduling {len(pending)} verification jobs on {self.jobs} workers"
-            )
-            with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
-                for index, (spec, record, seconds) in enumerate(
-                    pool.imap(worker, pending), 1
-                ):
-                    note(spec, record, seconds, index)
-        return records, len(pending), max(0, len(seen) - len(pending))
+        outcome = run_units(
+            spec_units(specs, compute, describe),
+            cache=self.cache,
+            executor=self.executor,
+            jobs=self.jobs,
+            emit=self.emit,
+            verb=verb,
+            noun="verification",
+            unit_timeout=self.unit_timeout,
+        )
+        return outcome.records, outcome.computed, outcome.cached
 
     def verify(self, specs: Sequence[VerificationSpec]) -> VerificationReport:
         """Run a verification campaign over the worker pool.
@@ -523,7 +521,7 @@ class Runner:
         Returns:
             A :class:`repro.faults.FaultReport`, records in unit order.
         """
-        from ..faults.campaign import FaultReport, FaultUnit, timed_fault_record
+        from ..faults.campaign import FaultReport, FaultUnit, fault_record
 
         started = time.perf_counter()
         unit_list = list(units) if units is not None else campaign.units()
@@ -534,7 +532,7 @@ class Runner:
             [unit.spec for unit in unit_list],
             lambda spec: f"{spec.label()} flow={by_key[spec.key()].flow_name}",
             verb="probed",
-            worker=timed_fault_record,
+            compute=fault_record,
         )
         report = FaultReport(
             campaign=campaign,
@@ -586,48 +584,37 @@ class Runner:
         computed_keys: set = set()
         if not job_list:
             return timings, computed_keys
-        pending: List[SynthesisJob] = []
-        seen = set()
+
+        label_by_key: Dict[str, str] = {}
+        job_by_key: Dict[str, SynthesisJob] = {}
         for job in job_list:
-            if job in seen:
-                continue
-            seen.add(job)
-            # Read (not just probe) the cache so hit/miss statistics match
-            # the serial path, and so assembly reuses the loaded record.
-            cached = self.cache.get(job) if self.cache is not None else None
-            if cached is not None:
-                engine.prime(job, cached, persist=False)
-                self.progress(f"  cached      {_job_label(job)}")
-            else:
-                pending.append(job)
-        if not pending:
-            return timings, computed_keys
-
-        if self.jobs == 1 or len(pending) == 1:
-            for index, job in enumerate(pending, 1):
-                job, record, seconds = timed_synthesis_record(job)
-                timings[_job_label(job)] = seconds
-                computed_keys.add(job.key())
-                engine.prime(job, record)
-                self.progress(
-                    f"  [{index}/{len(pending)}] synthesised {_job_label(job)} ({seconds:.2f}s)"
-                )
-            return timings, computed_keys
-
-        self.progress(
-            f"  scheduling {len(pending)} synthesis jobs on {self.jobs} workers"
+            key = job.key()
+            if key not in job_by_key:
+                job_by_key[key] = job
+                label_by_key[key] = _job_label(job)
+        units = spec_units(job_list, synthesis_record, _job_label)
+        # The lifecycle replays cache hits and writes fresh records back
+        # (so cache hit/miss/put statistics match the historical path);
+        # priming below only fills the engine's in-process memory.
+        outcome = run_units(
+            units,
+            cache=self.cache,
+            executor=self.executor,
+            jobs=self.jobs,
+            emit=self.emit,
+            verb="synthesised",
+            noun="synthesis",
+            unit_timeout=self.unit_timeout,
         )
-        with multiprocessing.Pool(processes=min(self.jobs, len(pending))) as pool:
-            for index, (job, record, seconds) in enumerate(
-                pool.imap(timed_synthesis_record, pending), 1
-            ):
-                timings[_job_label(job)] = seconds
-                computed_keys.add(job.key())
-                engine.prime(job, record)
-                self.progress(
-                    f"  [{index}/{len(pending)}] synthesised {_job_label(job)} "
-                    f"({seconds:.2f}s)"
-                )
+        for key, record in outcome.records.items():
+            if record.get("status") == "error":
+                # Leave the engine cold for this job: the assembler will
+                # recompute it serially and surface the real exception.
+                continue
+            engine.prime(job_by_key[key], record, persist=False)
+        for key, seconds in outcome.seconds.items():
+            timings[label_by_key[key]] = seconds
+            computed_keys.add(key)
         return timings, computed_keys
 
 
@@ -640,6 +627,8 @@ def run_experiment(
     use_cache: bool = True,
     circuits: Optional[Sequence[str]] = None,
     progress: Optional[ProgressFn] = None,
+    executor: str = "pool",
+    unit_timeout: Optional[float] = None,
 ) -> RunReport:
     """One-call convenience wrapper around :class:`Runner`.
 
@@ -647,7 +636,13 @@ def run_experiment(
     4-process pool, reusing (and growing) the on-disk result cache.
     """
     cache = ResultCache(cache_dir) if use_cache else None
-    runner = Runner(jobs=jobs, cache=cache, progress=progress)
+    runner = Runner(
+        jobs=jobs,
+        cache=cache,
+        progress=progress,
+        executor=executor,
+        unit_timeout=unit_timeout,
+    )
     return runner.run(experiment, scale=scale, effort=effort, circuits=circuits)
 
 

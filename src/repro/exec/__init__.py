@@ -1,0 +1,43 @@
+"""repro.exec — unified execution core for every campaign path.
+
+One :class:`WorkUnit` lifecycle (dedupe → cache replay → execute →
+schema-validate → cache put) over three pluggable executor backends
+(serial, throwaway pool, supervised persistent workers), emitting
+structured :class:`ExecEvent`\\ s instead of per-campaign progress
+f-strings.  ``Runner.run`` / ``verify`` / ``fuzz`` / ``faults`` /
+``soak`` and the perf harness are thin compositions over this package;
+the future ``repro serve`` daemon plugs into the same substrate.
+"""
+
+from .events import EmitFn, ExecEvent, render_event
+from .executors import (
+    Executor,
+    PersistentWorkerExecutor,
+    PoolExecutor,
+    SerialExecutor,
+    UnitResult,
+    execute_unit,
+)
+from .lifecycle import EXECUTOR_NAMES, ExecOutcome, resolve_executor, run_units
+from .units import CallableUnit, ProbeUnit, SpecUnit, WorkUnit, spec_units
+
+__all__ = [
+    "ExecEvent",
+    "EmitFn",
+    "render_event",
+    "WorkUnit",
+    "SpecUnit",
+    "CallableUnit",
+    "ProbeUnit",
+    "spec_units",
+    "Executor",
+    "SerialExecutor",
+    "PoolExecutor",
+    "PersistentWorkerExecutor",
+    "UnitResult",
+    "execute_unit",
+    "ExecOutcome",
+    "EXECUTOR_NAMES",
+    "resolve_executor",
+    "run_units",
+]

@@ -1,0 +1,113 @@
+"""Structured execution events and their canonical text rendering.
+
+Before ``repro.exec`` existed, every campaign path announced progress
+with its own ad-hoc f-strings — synthesis, verification, fuzzing, fault
+probing and soak batches each had a slightly different convention.  The
+unified lifecycle instead emits one typed :class:`ExecEvent` per
+scheduling decision; anything that wants text (the ``repro`` CLI, test
+capture, a future service daemon's log stream) renders events through
+:func:`render_event`, which deliberately reproduces the established CLI
+line formats so operator-facing output stays familiar.
+
+Event kinds:
+
+``cached``
+    A unit's record was replayed from the result cache.
+``schedule``
+    A batch of pending units is about to fan out across workers.
+``computed``
+    A unit finished successfully (``status``/``seconds`` filled in).
+``error``
+    A unit failed permanently; its campaign record has
+    ``status: "error"`` and is never cached.
+``timeout``
+    A unit exceeded the executor's per-unit timeout and was killed.
+``retry``
+    A crashed unit is being retried on a respawned worker.
+``respawn``
+    A dead worker process was replaced.
+``note``
+    Free-form progress (soak batches, resume announcements).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+__all__ = ["ExecEvent", "EmitFn", "render_event"]
+
+
+@dataclass(frozen=True)
+class ExecEvent:
+    """One structured scheduling event of the execution lifecycle.
+
+    Attributes:
+        kind: Event discriminator (see the module docstring).
+        description: Human-oriented unit description (``describe()``).
+        unit_key: Content-addressed key of the unit involved ("" for
+            batch-level events such as ``schedule``).
+        index: 1-based completion index within the pending batch.
+        total: Pending-batch size the index counts against.
+        status: Record status for ``computed``/``error`` events.
+        seconds: Wall-clock seconds the unit took (0.0 when unknown).
+        attempt: Execution attempt number (> 1 after crash retries).
+        verb: Campaign verb for ``computed`` lines ("verified",
+            "synthesised", "fuzzed", "probed", ...).
+        detail: Extra context (error message, worker id, ...).
+    """
+
+    kind: str
+    description: str = ""
+    unit_key: str = ""
+    index: int = 0
+    total: int = 0
+    status: str = ""
+    seconds: float = 0.0
+    attempt: int = 1
+    verb: str = ""
+    detail: str = ""
+
+
+EmitFn = Callable[[ExecEvent], None]
+
+
+def render_event(event: ExecEvent) -> Optional[str]:
+    """Render an event to the CLI's established progress-line format.
+
+    Returns ``None`` for events that produce no line (unknown kinds are
+    silently dropped rather than crashing a progress callback).
+    """
+    if event.kind == "cached":
+        return f"  cached      {event.description}"
+    if event.kind == "schedule":
+        return (
+            f"  scheduling {event.total} {event.description} jobs "
+            f"on {event.detail} workers"
+        )
+    if event.kind == "computed":
+        status = f" [{event.status}]" if event.status else ""
+        return (
+            f"  [{event.index}/{event.total}] {event.verb} "
+            f"{event.description}{status} ({event.seconds:.2f}s)"
+        )
+    if event.kind == "error":
+        return (
+            f"  [{event.index}/{event.total}] ERROR {event.description}: "
+            f"{event.detail}"
+        )
+    if event.kind == "timeout":
+        return (
+            f"  [{event.index}/{event.total}] TIMEOUT {event.description} "
+            f"after {event.seconds:.1f}s"
+        )
+    if event.kind == "retry":
+        return (
+            f"  retrying    {event.description} "
+            f"(attempt {event.attempt}: {event.detail})"
+        )
+    if event.kind == "respawn":
+        return f"  respawned worker {event.detail}"
+    if event.kind == "note":
+        return event.description
+    return None

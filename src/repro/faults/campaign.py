@@ -286,7 +286,13 @@ def fault_record(spec: FaultSpec) -> Dict[str, object]:
 def timed_fault_record(
     spec: FaultSpec,
 ) -> Tuple[FaultSpec, Dict[str, object], float]:
-    """Worker-pool wrapper: record plus the seconds it took to compute."""
+    """Record plus the seconds it took to compute.
+
+    Compatibility shim: the runner now schedules bare
+    :func:`fault_record` through :mod:`repro.exec`, which times every
+    unit itself; this wrapper remains for external callers that used it
+    as a pool worker function.
+    """
     started = time.perf_counter()
     record = fault_record(spec)
     return spec, record, time.perf_counter() - started

@@ -28,6 +28,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..exec import CallableUnit, SerialExecutor
 from ..schema import SchemaError, atomic_write_json, load_document, pack, schema_tag
 
 #: Schema tag stamped into every emitted benchmark JSON document (the
@@ -200,6 +201,42 @@ def _isolated_invocation(workload: Callable[[], Optional[Mapping[str, float]]]):
         set_stage_cache(previous)
 
 
+def _bench_unit(spec: BenchSpec) -> CallableUnit:
+    """Wrap a spec's workload as an in-process work unit.
+
+    Benchmark workloads are closures over live objects, so only the
+    serial backend can run them — but routing them through
+    :mod:`repro.exec` gives the harness the same timed, error-capturing
+    execution wrapper as every campaign path.  Domain counters are
+    process-wide, which is another reason execution must stay
+    in-process.
+    """
+    return CallableUnit(
+        name=spec.name,
+        fn=lambda: _isolated_invocation(spec.workload),
+        kind="bench",
+    )
+
+
+def _run_bench_unit(
+    executor: SerialExecutor, spec: BenchSpec
+) -> Tuple[Optional[Mapping[str, float]], float, float]:
+    """One measured invocation: ``(extra counters, wall_s, cpu_s)``.
+
+    A workload exception was captured by the execution wrapper; re-raise
+    it so ``repro bench`` still crashes loudly on a broken workload
+    instead of emitting a bogus report.
+    """
+    result = next(iter(executor.map([_bench_unit(spec)])))
+    if result.error is not None:
+        raise RuntimeError(
+            f"benchmark workload {spec.name!r} failed: "
+            f"{result.error.get('type')}: {result.error.get('message')}\n"
+            f"{result.error.get('traceback', '')}"
+        )
+    return result.record, result.seconds, result.cpu_s
+
+
 def run_spec(
     spec: BenchSpec,
     repeat: Optional[int] = None,
@@ -210,21 +247,18 @@ def run_spec(
     note = progress or (lambda line: None)
     repeats = max(1, int(repeat if repeat is not None else spec.repeat))
     warmups = max(0, int(warmup if warmup is not None else spec.warmup))
+    executor = SerialExecutor()
 
     for index in range(warmups):
         note(f"    warmup {index + 1}/{warmups} {spec.name}")
-        _isolated_invocation(spec.workload)
+        _run_bench_unit(executor, spec)
 
     walls: List[float] = []
     cpus: List[float] = []
     best_counters: Dict[str, float] = {}
     for index in range(repeats):
         before = _domain_counter_snapshot()
-        wall_started = time.perf_counter()
-        cpu_started = time.process_time()
-        extra = _isolated_invocation(spec.workload)
-        wall = time.perf_counter() - wall_started
-        cpu = time.process_time() - cpu_started
+        extra, wall, cpu = _run_bench_unit(executor, spec)
         after = _domain_counter_snapshot()
         counters: Dict[str, float] = {
             key: float(after[key] - before[key]) for key in after

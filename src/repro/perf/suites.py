@@ -245,6 +245,30 @@ def _aig_sim_wide_workload(
     return run
 
 
+def _exec_overhead_workload(
+    units: int = 400, spin: int = 200
+) -> Callable[[], Mapping[str, float]]:
+    """Pure scheduling overhead of the supervised persistent-worker backend.
+
+    Probe units do near-zero work, so the measured wall time is
+    dominated by the ``repro.exec`` lifecycle itself: keying, dispatch
+    over the worker queues, result collection, event emission.  A
+    regression here means every campaign pays more per unit.
+    """
+
+    def run() -> Mapping[str, float]:
+        from ..exec import PersistentWorkerExecutor, ProbeUnit, run_units
+
+        probes = [ProbeUnit(index=i, spin=spin) for i in range(units)]
+        with PersistentWorkerExecutor(jobs=2) as executor:
+            outcome = run_units(probes, executor=executor, jobs=2)
+        if outcome.errors or outcome.computed != units:
+            raise RuntimeError("exec overhead benchmark lost units")
+        return {"units": float(units)}
+
+    return run
+
+
 def _specs(entries: Sequence[BenchSpec]) -> Dict[str, BenchSpec]:
     return {spec.name: spec for spec in entries}
 
@@ -316,6 +340,12 @@ SPECS: Dict[str, BenchSpec] = _specs(
             tags=("kernel",),
         ),
         BenchSpec(
+            "exec-overhead-smoke",
+            "repro.exec per-unit scheduling overhead (400 probe units, 2 workers)",
+            _exec_overhead_workload(units=400),
+            tags=("exec",),
+        ),
+        BenchSpec(
             "verify-catalog",
             "full catalog verification campaign (37 circuits, 256 patterns)",
             _verify_workload(None, patterns=256),
@@ -361,7 +391,9 @@ SUITES: Dict[str, Tuple[str, ...]] = {
         "pulse-batch-smoke",
         "aig-sim-smoke",
         "aig-sim-wide-smoke",
+        "exec-overhead-smoke",
     ),
+    "exec": ("exec-overhead-smoke",),
     "verify": ("verify-catalog",),
     "faults": ("faults-margin-smoke",),
     "fuzz": ("fuzz-campaign",),

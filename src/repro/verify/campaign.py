@@ -205,7 +205,13 @@ def _cell_counts(result) -> Dict[str, int]:
 def timed_verification_record(
     spec: VerificationSpec,
 ) -> Tuple[VerificationSpec, Dict[str, object], float]:
-    """Worker-pool wrapper: record plus the seconds it took to compute."""
+    """Record plus the seconds it took to compute.
+
+    Compatibility shim: the runner now schedules bare
+    :func:`verification_record` through :mod:`repro.exec`, which times
+    every unit itself; this wrapper remains for external callers that
+    used it as a pool worker function.
+    """
     started = time.perf_counter()
     record = verification_record(spec)
     return spec, record, time.perf_counter() - started
